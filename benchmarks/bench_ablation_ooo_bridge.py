@@ -1,0 +1,62 @@
+"""Ablation: in-order vs out-of-order latency bridge (Appendix A).
+
+The paper's FIFO bridge is exact for its prototype because the Agilex
+CXL interface serves requests in order and the added latency is
+constant.  This bench quantifies when that stops being safe: with
+variable DRAM service times, head-of-line blocking adds latency that an
+out-of-order bridge avoids.
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.devices.cxl import head_of_line_penalty
+from repro.units import USEC
+
+from conftest import run_once
+
+
+def ooo_study():
+    rng = np.random.default_rng(7)
+    n = 5_000
+    # 64 B reads arriving at the prototype's ~5,700 MB/s channel rate.
+    arrivals = np.sort(rng.uniform(0, n * 64 / 5_700e6, n))
+    rows = []
+    for label, latencies in (
+        ("constant 100 ns", np.full(n, 0.1 * USEC)),
+        ("bank conflicts (10% x 400 ns)", np.where(
+            rng.uniform(size=n) < 0.1, 0.4 * USEC, 0.1 * USEC)),
+        ("refresh stalls (1% x 2 us)", np.where(
+            rng.uniform(size=n) < 0.01, 2 * USEC, 0.1 * USEC)),
+        ("exponential (mean 100 ns)", rng.exponential(0.1 * USEC, n)),
+    ):
+        penalty = head_of_line_penalty(arrivals, latencies)
+        rows.append(
+            {
+                "dram service model": label,
+                "mean_service_ns": float(latencies.mean()) * 1e9,
+                "hol_penalty_ns": penalty * 1e9,
+                "penalty_vs_mean": penalty / float(latencies.mean()),
+            }
+        )
+    return rows
+
+
+def test_ablation_out_of_order_bridge(benchmark, capsys):
+    rows = run_once(benchmark, ooo_study)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows, title="ablation: FIFO head-of-line penalty vs OoO bridge"
+            )
+        )
+    by_model = {r["dram service model"]: r for r in rows}
+    # Constant latency: the FIFO bridge is free (the paper's case).
+    assert by_model["constant 100 ns"]["hol_penalty_ns"] == 0.0
+    # Variable latencies: blocking appears, worst for rare long stalls.
+    assert by_model["bank conflicts (10% x 400 ns)"]["hol_penalty_ns"] > 0
+    assert (
+        by_model["refresh stalls (1% x 2 us)"]["hol_penalty_ns"]
+        > by_model["bank conflicts (10% x 400 ns)"]["hol_penalty_ns"]
+    )

@@ -1,0 +1,64 @@
+"""Ablation: PCIe generation sweep.
+
+Section 5 argues the PCIe link will remain the bottleneck across
+generations.  This bench prices the same BFS workload on Gen3/4/5 links
+(scaling the CXL pool so device tags never bind) and checks that (a)
+EMOGI runtime scales with link bandwidth and (b) the latency allowance
+doubles with the bandwidth-per-tag ratio.
+"""
+
+from repro.core.experiment import cxl_system, emogi_system, run_algorithm
+from repro.core.report import format_table
+from repro.core.requirements import requirements_for
+from repro.core.runtime_model import predict_runtime
+from repro.graph.datasets import load_dataset
+from repro.interconnect.pcie import PCIeLink
+from repro.units import to_usec
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+#: CXL devices per generation, sized so pool tags cover the link's N_max.
+_DEVICES = {"gen3": 5, "gen4": 12, "gen5": 12}
+
+
+def pcie_generation_sweep(scale: int, seed: int):
+    graph = load_dataset("urand", scale=scale, seed=seed)
+    trace = run_algorithm(graph, "bfs")
+    rows = []
+    for gen in ("gen3", "gen4", "gen5"):
+        link = PCIeLink.from_name(gen)
+        dram = predict_runtime(trace, emogi_system(link))
+        cxl = predict_runtime(
+            trace, cxl_system(1e-6, link, devices=_DEVICES[gen])
+        )
+        req = requirements_for(link)
+        rows.append(
+            {
+                "link": gen,
+                "dram_runtime_us": dram.runtime * 1e6,
+                "cxl+1us_normalized": cxl.runtime / dram.runtime,
+                "allowed_latency_us": to_usec(req.max_latency),
+                "required_MIOPS": req.min_iops / 1e6,
+            }
+        )
+    return rows
+
+
+def test_ablation_pcie_generations(benchmark, capsys):
+    rows = run_once(
+        benchmark, pcie_generation_sweep, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="ablation: PCIe generation sweep"))
+    by_gen = {r["link"]: r for r in rows}
+    # Bandwidth doubling halves the (bandwidth-bound) DRAM runtime.
+    assert by_gen["gen3"]["dram_runtime_us"] > 1.5 * by_gen["gen4"]["dram_runtime_us"]
+    # Gen4's tag budget is 3x Gen3's at 2x the bandwidth: the latency
+    # allowance grows (1.91 -> 2.87 us), so +1 us CXL hurts Gen4 less.
+    assert (
+        by_gen["gen4"]["cxl+1us_normalized"] < by_gen["gen3"]["cxl+1us_normalized"]
+    )
+    # Gen5 keeps 768 tags at twice the bandwidth: allowance halves again,
+    # back below Gen3's — the knife-edge the Section 5 discussion implies.
+    assert by_gen["gen5"]["allowed_latency_us"] < by_gen["gen4"]["allowed_latency_us"]

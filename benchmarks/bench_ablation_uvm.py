@@ -1,0 +1,56 @@
+"""Ablation: UVM page migration vs EMOGI zero-copy (related work, §6).
+
+EMOGI's premise is that 4 kB page-granular UVM migration wastes PCIe
+bandwidth on fine-grained random access.  This bench reproduces that
+comparison on our stack: RAF and runtime of the UVM baseline at several
+page-pool sizes against zero-copy on the same workload.
+"""
+
+from repro.core.experiment import emogi_system, run_algorithm, uvm_system
+from repro.core.report import format_table
+from repro.core.runtime_model import predict_runtime
+from repro.graph.datasets import load_dataset
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def uvm_study(scale: int, seed: int):
+    graph = load_dataset("urand", scale=scale, seed=seed)
+    trace = run_algorithm(graph, "bfs")
+    emogi = predict_runtime(trace, emogi_system())
+    rows = [
+        {
+            "system": "emogi (zero-copy)",
+            "raf": emogi.raf,
+            "normalized_runtime": 1.0,
+        }
+    ]
+    # The premise of external memory is that the graph does NOT fit in
+    # GPU memory, so the page pool is a fraction of the edge list.
+    for fraction, label in ((0.5, "uvm pool=50%"), (0.25, "uvm pool=25%"), (0.125, "uvm pool=12.5%")):
+        system = uvm_system(
+            pool_fraction=fraction, edge_list_bytes=graph.edge_list_bytes
+        )
+        result = predict_runtime(trace, system)
+        rows.append(
+            {
+                "system": label,
+                "raf": result.raf,
+                "normalized_runtime": result.runtime / emogi.runtime,
+            }
+        )
+    return rows
+
+
+def test_ablation_uvm_vs_zero_copy(benchmark, capsys):
+    rows = run_once(benchmark, uvm_study, scale=BENCH_SCALE, seed=BENCH_SEED)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="ablation: UVM paging vs zero-copy (BFS urand)"))
+    emogi = rows[0]
+    for uvm_row in rows[1:]:
+        assert uvm_row["raf"] > 1.8 * emogi["raf"]
+        assert uvm_row["normalized_runtime"] > 1.5
+    # Shrinking the pool only makes it worse.
+    norms = [r["normalized_runtime"] for r in rows[1:]]
+    assert norms == sorted(norms)

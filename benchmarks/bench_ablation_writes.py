@@ -1,0 +1,70 @@
+"""Ablation: write workloads on CXL DRAM vs flash (Section 5).
+
+The paper is read-only and explicitly defers writes, warning about CXL
+coherence overheads and flash write behaviour.  This bench quantifies
+the warning: the property write-back of one BFS run, priced as CXL.mem
+read-modify-write traffic vs flash page programs with GC amplification.
+"""
+
+from repro.core.report import format_table
+from repro.graph.datasets import load_dataset
+from repro.memsim.writes import (
+    cxl_write_traffic,
+    flash_write_traffic,
+    gc_write_amplification,
+    writeback_trace,
+)
+from repro.traversal.bfs import bfs
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def write_study(scale: int, seed: int):
+    graph = load_dataset("urand", scale=scale, seed=seed)
+    result = bfs(graph, 0)
+    frontiers = [step.vertices for step in result.trace]
+    trace = writeback_trace(frontiers, num_vertices=graph.num_vertices)
+    rows = []
+    cxl = cxl_write_traffic(trace)
+    rows.append(
+        {
+            "target": "CXL DRAM (64 B RMW)",
+            "user_MB": cxl.user_bytes / 1e6,
+            "device_write_MB": cxl.written_bytes / 1e6,
+            "device_read_MB": cxl.read_bytes / 1e6,
+            "write_amplification": cxl.write_amplification,
+        }
+    )
+    for op in (0.28, 0.07):
+        flash = flash_write_traffic(trace, overprovisioning=op)
+        rows.append(
+            {
+                "target": f"flash CXL (4 kB pages, {int(op * 100)}% OP)",
+                "user_MB": flash.user_bytes / 1e6,
+                "device_write_MB": flash.written_bytes / 1e6,
+                "device_read_MB": flash.read_bytes / 1e6,
+                "write_amplification": flash.write_amplification,
+            }
+        )
+    return rows
+
+
+def test_ablation_write_workloads(benchmark, capsys):
+    rows = run_once(benchmark, write_study, scale=BENCH_SCALE, seed=BENCH_SEED)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows, title="ablation: BFS property write-back traffic (Section 5)"
+            )
+        )
+    waf = {r["target"]: r["write_amplification"] for r in rows}
+    # CXL DRAM: modest RMW amplification for 8 B scattered writes.
+    assert 1.0 <= waf["CXL DRAM (64 B RMW)"] <= 8.0
+    # Flash: page padding x GC makes scattered writes punishing, and the
+    # penalty grows as over-provisioning shrinks.
+    assert waf["flash CXL (4 kB pages, 28% OP)"] > 3 * waf["CXL DRAM (64 B RMW)"]
+    assert (
+        waf["flash CXL (4 kB pages, 7% OP)"]
+        > 2 * waf["flash CXL (4 kB pages, 28% OP)"]
+    )

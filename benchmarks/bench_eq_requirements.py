@@ -1,0 +1,31 @@
+"""Equations 4 and 6: the analytical requirement numbers."""
+
+import pytest
+
+from repro import figures
+from repro.core.equations import example_throughput_model
+
+from conftest import run_once
+
+
+def test_requirements_table(benchmark, show):
+    result = run_once(benchmark, figures.requirements_table)
+    show(result)
+    by_config = {r["configuration"]: r for r in result.rows}
+    gen4 = by_config["gen4 @ d_EMOGI"]
+    assert gen4["min_iops_MIOPS"] == pytest.approx(268, rel=0.005)
+    assert gen4["max_latency_us"] == pytest.approx(2.87, rel=0.005)
+    gen3 = by_config["gen3 @ d_EMOGI"]
+    assert gen3["min_iops_MIOPS"] == pytest.approx(134, rel=0.005)
+    assert gen3["max_latency_us"] == pytest.approx(1.91, rel=0.005)
+    xlfdd = by_config["gen4 @ 256 B sublists (XLFDD)"]
+    assert xlfdd["min_iops_MIOPS"] == pytest.approx(93.75)
+
+
+def test_equation4_profile(benchmark):
+    """Eq. 4: T = min{100 d, 48 d, 24,000} -> slope 48, d_opt 500 B."""
+    model = benchmark.pedantic(
+        example_throughput_model, rounds=1, iterations=1
+    )
+    assert model.slope == pytest.approx(48e6)
+    assert model.optimal_transfer_size() == pytest.approx(500.0)

@@ -1,0 +1,24 @@
+"""Figure 10: CXL prototype bandwidth and outstanding reads vs latency."""
+
+from repro import figures
+
+from conftest import run_once
+
+
+def test_fig10_cxl_prototype_profile(benchmark, show):
+    result = run_once(
+        benchmark, figures.figure10,
+        added_latencies_us=(0, 0.5, 1, 1.5, 2, 2.5, 3),
+    )
+    show(result)
+    rows = result.rows
+    bandwidth = [r["bandwidth_MBps"] for r in rows]
+    outstanding = [r["outstanding_reads"] for r in rows]
+    # Plateau at ~5,700 MB/s (single DRAM channel), then monotone decay.
+    assert bandwidth[0] == 5_700
+    assert all(b1 >= b2 for b1, b2 in zip(bandwidth, bandwidth[1:]))
+    # Paper reads ~2,500 MB/s per device around +3 us.
+    assert 1_800 < bandwidth[-1] < 3_200
+    # Outstanding reads ramp to, and saturate at, the 128-tag limit.
+    assert max(outstanding) == 128
+    assert outstanding[-1] == 128

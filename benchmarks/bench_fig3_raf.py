@@ -1,0 +1,25 @@
+"""Figure 3: read amplification vs alignment size, 2 algorithms x 3 datasets."""
+
+from repro import figures
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_fig3_read_amplification(benchmark, show):
+    result = run_once(
+        benchmark, figures.figure3, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    show(result)
+    # RAF must be an increasing function of alignment for every workload
+    # (Observation 1), reaching well above 1 at 4 kB.
+    by_workload = {}
+    for row in result.rows:
+        key = (row["dataset"], row["algorithm"])
+        by_workload.setdefault(key, []).append((row["alignment_B"], row["raf"]))
+    assert len(by_workload) == 6
+    for series in by_workload.values():
+        series.sort()
+        rafs = [raf for _, raf in series]
+        assert rafs == sorted(rafs)
+        assert rafs[0] < 1.15  # near-optimal at 16 B
+        assert rafs[-1] > 1.3  # clearly amplified at 4 kB

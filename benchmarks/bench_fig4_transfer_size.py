@@ -1,0 +1,21 @@
+"""Figure 4: data size, throughput and runtime vs transfer size (Eq. 4)."""
+
+from repro import figures
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_fig4_runtime_vs_transfer_size(benchmark, show):
+    result = run_once(benchmark, figures.figure4, scale=BENCH_SCALE, seed=BENCH_SEED)
+    show(result)
+    runtimes = [r["runtime_s"] for r in result.rows]
+    throughputs = [r["throughput_MBps"] for r in result.rows]
+    fetched = [r["fetched_MB"] for r in result.rows]
+    # Throughput rises to the 24,000 MB/s plateau; D grows monotonically;
+    # the runtime minimum is interior (Section 3.3.2's d_opt).
+    assert max(throughputs) == 24_000
+    assert fetched == sorted(fetched)
+    best = runtimes.index(min(runtimes))
+    assert 0 < best < len(runtimes) - 1
+    # d_opt = W / s = 500 B for the example profile.
+    assert 256 <= result.rows[best]["transfer_B"] <= 1024

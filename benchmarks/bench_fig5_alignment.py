@@ -1,0 +1,22 @@
+"""Figure 5: XLFDD BFS runtime vs alignment, normalized by EMOGI."""
+
+from repro import figures
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_fig5_alignment_sweep(benchmark, show):
+    result = run_once(benchmark, figures.figure5, scale=BENCH_SCALE, seed=BENCH_SEED)
+    show(result)
+    xlfdd = sorted(
+        (r["alignment_B"], r["normalized_runtime"])
+        for r in result.rows
+        if r["system"] == "xlfdd"
+    )
+    norms = [n for _, n in xlfdd]
+    # Smaller alignments are faster; 16 B approaches host-DRAM speed.
+    assert norms == sorted(norms)
+    assert norms[0] < 1.25
+    # BaM's 4 kB point sits clearly above EMOGI.
+    bam = [r for r in result.rows if r["system"] == "bam"]
+    assert bam[0]["normalized_runtime"] > 1.4

@@ -1,0 +1,23 @@
+"""Figure 6: XLFDD vs BaM normalized runtimes, BFS+SSSP x 3 datasets."""
+
+from repro import figures
+from repro.core.report import geometric_mean
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_fig6_method_comparison(benchmark, show):
+    result = run_once(benchmark, figures.figure6, scale=BENCH_SCALE, seed=BENCH_SEED)
+    show(result)
+    assert len(result.rows) == 12  # 3 datasets x 2 algorithms x 2 systems
+    xlfdd = geometric_mean(
+        [r["normalized_runtime"] for r in result.rows if "xlfdd" in str(r["system"])]
+    )
+    bam = geometric_mean(
+        [r["normalized_runtime"] for r in result.rows if "bam" in str(r["system"])]
+    )
+    # Paper: 1.13x vs 2.76x (geomean).  The scaled graphs amplify less at
+    # 4 kB, so BaM's gap shrinks, but the ordering must be decisive.
+    assert xlfdd < 1.4
+    assert bam > 1.5
+    assert bam > 1.3 * xlfdd

@@ -1,0 +1,18 @@
+"""Figure 9: GPU-observed latency by target (pointer chase on the DES)."""
+
+from repro import figures
+
+from conftest import run_once
+
+
+def test_fig9_pointer_chase_latency(benchmark, show):
+    result = run_once(benchmark, figures.figure9, hops=256)
+    show(result)
+    by_target = {r["target"]: r["chased_latency_us"] for r in result.rows}
+    # The paper's ladder: DRAM ~1.2 us, CXL +0.5 us, bridge adds verbatim.
+    assert abs(by_target["host DRAM, GPU socket"] - 1.2) < 0.15
+    assert abs(by_target["CXL (+0 us), GPU socket"] - 1.7) < 0.15
+    assert abs(by_target["CXL (+3 us), GPU socket"] - 4.7) < 0.15
+    # Remote-socket targets are consistently (slightly) slower.
+    assert by_target["host DRAM, other socket"] > by_target["host DRAM, GPU socket"]
+    assert by_target["CXL (+1 us), other socket"] > by_target["CXL (+1 us), GPU socket"]

@@ -1,0 +1,14 @@
+"""Table 1: dataset statistics (paper vs scaled equivalents)."""
+
+from repro import figures
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_table1_datasets(benchmark, show):
+    result = run_once(benchmark, figures.table1, scale=BENCH_SCALE, seed=BENCH_SEED)
+    show(result)
+    assert {r["dataset"] for r in result.rows} == {"urand", "kron", "friendster"}
+    for row in result.rows:
+        # Scaled average degrees must track Table 1 within 25%.
+        assert abs(row["measured_avg_degree"] / row["paper_avg_degree"] - 1) < 0.25

@@ -1,0 +1,15 @@
+"""Table 2: BFS frontier sizes per depth (urand)."""
+
+from repro import figures
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_table2_frontier(benchmark, show):
+    result = run_once(benchmark, figures.table2, scale=BENCH_SCALE, seed=BENCH_SEED)
+    show(result)
+    sizes = [r["vertices"] for r in result.rows]
+    # The paper's profile: tiny start, explosive middle, small tail.
+    assert sizes[0] == 1
+    assert max(sizes) > 0.5 * sum(sizes)
+    assert sizes[-1] < max(sizes)

@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper via
+:mod:`repro.figures` and prints the resulting series, so the
+pytest-benchmark output records both the wall-clock cost and the
+paper-comparable numbers.  ``REPRO_BENCH_SCALE`` (default 14: 2**14
+vertices) controls workload size; raise it to tighten the match with the
+paper's 2**27-vertex graphs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: log2 of the vertex count used by graph-based benchmarks.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "14"))
+
+#: RNG seed shared by all benchmarks.
+BENCH_SEED = 1
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a figure's rendering even under pytest's capture."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Benchmark ``fn`` with a single timed round (figures are seconds-
+    scale; statistical rounds would multiply runtime for no insight)."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Why small address alignments win: read amplification end to end.
+
+Walks Observation 1 in three stages on one BFS workload:
+
+1. the RAF curve (Figure 3): how many bytes external memory must serve
+   per useful byte, as a function of the alignment size;
+2. the resulting runtime on the XLFDD array for each alignment
+   (Figure 5), normalized by EMOGI on host DRAM;
+3. the cache ablation: why XLFDD can skip the software cache at 16 B.
+
+Run: ``python examples/alignment_study.py [scale]``
+"""
+
+import sys
+
+from repro import load_dataset, run_algorithm
+from repro.core.report import format_table
+from repro.core.sweep import alignment_sweep
+from repro.memsim.cache import IdealCache, NoCache
+from repro.memsim.raf import raf_curve, read_amplification
+
+ALIGNMENTS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    graph = load_dataset("urand", scale=scale, seed=0)
+    trace = run_algorithm(graph, "bfs")
+    print(
+        f"workload: BFS on {graph.name} "
+        f"(avg sublist {trace.average_sublist_bytes():.0f} B)\n"
+    )
+
+    # Stage 1 — Figure 3.
+    rows = [
+        {"alignment (B)": r.alignment, "RAF": r.raf, "requests": r.requests}
+        for r in raf_curve(trace, ALIGNMENTS)
+    ]
+    print(format_table(rows, title="read amplification vs alignment (Figure 3)"))
+
+    # Stage 2 — Figure 5.
+    sweep = alignment_sweep(trace, ALIGNMENTS)
+    rows = [
+        {
+            "alignment (B)": int(p.x),
+            "normalized runtime": p.normalized_runtime,
+            "binding resource": p.bound,
+        }
+        for p in sweep["xlfdd"]
+    ]
+    rows.append(
+        {
+            "alignment (B)": "bam-4096",
+            "normalized runtime": sweep["bam"][0].normalized_runtime,
+            "binding resource": sweep["bam"][0].bound,
+        }
+    )
+    print()
+    print(
+        format_table(
+            rows, title="XLFDD runtime vs alignment, EMOGI-normalized (Figure 5)"
+        )
+    )
+
+    # Stage 3 — the cache question (Section 4.1.1).
+    print()
+    rows = []
+    for alignment in (16, 512, 4096):
+        no_cache = read_amplification(trace, alignment, NoCache()).raf
+        infinite = read_amplification(trace, alignment, IdealCache()).raf
+        rows.append(
+            {
+                "alignment (B)": alignment,
+                "RAF no cache": no_cache,
+                "RAF infinite cache": infinite,
+                "cache benefit": no_cache / infinite,
+            }
+        )
+    print(format_table(rows, title="what a cache could save (Section 4.1.1)"))
+    print(
+        "\nAt 16 B even an infinite cache barely reduces traffic — which is"
+        "\nwhy the XLFDD driver skips the software cache entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's endgame: flash-backed CXL memory for GPU graph analytics.
+
+Walks the Conclusion's scenario quantitatively:
+
+1. how runtime degrades as the flash read latency grows (where today's
+   XL-FLASH sits vs the 2.87 us Gen4 allowance);
+2. what the same systems cost for a multi-TB graph, and where the
+   cost-performance frontier puts flash CXL.
+
+Run: ``python examples/flash_cxl_projection.py [scale]``
+"""
+
+import sys
+
+from repro import load_dataset, run_algorithm
+from repro.core.cost import cost_performance
+from repro.core.experiment import cxl_system, emogi_system, flash_cxl_system
+from repro.core.report import format_table
+from repro.core.requirements import paper_gen4_requirements
+from repro.core.runtime_model import predict_runtime
+from repro.interconnect.pcie import PCIeLink
+from repro.units import USEC, to_usec
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 13
+    graph = load_dataset("urand", scale=scale, seed=0)
+    trace = run_algorithm(graph, "bfs")
+    link = PCIeLink.from_name("gen4")
+    baseline = predict_runtime(trace, emogi_system(link)).runtime
+    allowance = paper_gen4_requirements()
+    print("Gen4 requirement:", allowance.describe())
+
+    # 1. Runtime vs flash latency.
+    rows = []
+    for flash_us in (1.0, 1.5, 2.0, 3.0, 4.0, 6.0):
+        system = flash_cxl_system(flash_us * USEC, link)
+        result = predict_runtime(trace, system)
+        rows.append(
+            {
+                "flash latency (us)": flash_us,
+                "GPU-observed (us)": to_usec(system.total_latency),
+                "within allowance": system.total_latency <= allowance.max_latency,
+                "normalized runtime": result.runtime / baseline,
+                "bound": result.dominant_bound(),
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows, title="flash-CXL runtime vs flash read latency (BFS urand)"
+        )
+    )
+    print(
+        "\nToday's ~4 us XL-FLASH overshoots the allowance; at ~1.2-1.5 us"
+        "\n(the paper's 'within reach' projection) runtime is host-DRAM-class."
+    )
+
+    # 2. Cost frontier for a 2 TB graph.
+    systems = [
+        emogi_system(link),
+        cxl_system(0.0, link, devices=12),
+        flash_cxl_system(1.2 * USEC, link),
+        flash_cxl_system(4 * USEC, link),
+    ]
+    rows = cost_performance(trace, systems, data_bytes=int(2e12))
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "system",
+                "normalized_runtime",
+                "memory_cost_usd",
+                "cost_x_runtime",
+            ],
+            title="cost-performance for a 2 TB edge list (illustrative prices)",
+        )
+    )
+    print(
+        "\nPast the commodity-DIMM tier, host DRAM's $/GB multiplies while"
+        "\nflash CXL scales linearly — the cost-effectiveness argument that"
+        "\nmotivates the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

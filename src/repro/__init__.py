@@ -1,0 +1,94 @@
+"""repro — reproduction of *GPU Graph Processing on CXL-Based
+Microsecond-Latency External Memory* (Sano et al., SC-W 2023).
+
+The package simulates GPU graph traversal over external memory — host
+DRAM, CXL memory with adjustable latency, low-latency flash (XLFDD), and
+NVMe SSDs — and reproduces the paper's analysis and every table/figure of
+its evaluation.  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import load_dataset, run_algorithm, emogi_system, cxl_system
+    from repro.core import predict_runtime
+
+    graph = load_dataset("urand", scale=16)
+    trace = run_algorithm(graph, "bfs")
+    dram = predict_runtime(trace, emogi_system())
+    cxl = predict_runtime(trace, cxl_system(added_latency=1e-6))
+    print(cxl.runtime / dram.runtime)
+
+Subpackages
+-----------
+``graph``
+    CSR storage, generators, Table 1 datasets.
+``traversal``
+    BFS / SSSP / CC / PageRank with external-memory access traces.
+``memsim``
+    Alignment, caches, read amplification (Figure 3), GPU coalescing.
+``devices``
+    Host DRAM, CXL prototype (Figure 10), XLFDD, NVMe, flash substrate.
+``interconnect``
+    PCIe generations (W, N_max), CXL flit accounting, NUMA topology.
+``gpu``
+    Access methods (EMOGI zero-copy, BaM, XLFDD driver), warp occupancy.
+``sim``
+    Fluid step-time model, discrete-event simulator, pointer chase.
+``core``
+    Equations 1-6, requirement calculator, experiments, sweeps, reports.
+"""
+
+from .graph import (
+    CSRGraph,
+    build_csr,
+    uniform_random_graph,
+    kronecker_graph,
+    chung_lu_graph,
+    load_dataset,
+    graph_stats,
+)
+from .traversal import (
+    bfs,
+    sssp_bellman_ford,
+    sssp_delta_stepping,
+    connected_components,
+    pagerank,
+    AccessTrace,
+)
+from .core import (
+    emogi_system,
+    bam_system,
+    xlfdd_system,
+    cxl_system,
+    run_algorithm,
+    run_experiment,
+    predict_runtime,
+    requirements_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "build_csr",
+    "uniform_random_graph",
+    "kronecker_graph",
+    "chung_lu_graph",
+    "load_dataset",
+    "graph_stats",
+    "bfs",
+    "sssp_bellman_ford",
+    "sssp_delta_stepping",
+    "connected_components",
+    "pagerank",
+    "AccessTrace",
+    "emogi_system",
+    "bam_system",
+    "xlfdd_system",
+    "cxl_system",
+    "run_algorithm",
+    "run_experiment",
+    "predict_runtime",
+    "requirements_for",
+    "__version__",
+]

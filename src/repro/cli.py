@@ -1,0 +1,246 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands
+-----------
+``stats``
+    Print Table-1-style statistics of a (scaled) dataset.
+``run``
+    Run one (dataset, algorithm, system) experiment and print metrics.
+``figure``
+    Regenerate a table/figure of the paper (``repro figure figure11``).
+``requirements``
+    Print Equation 6's external-memory requirements for a link.
+``chase``
+    Run the pointer-chase latency microbenchmark for a target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import figures
+from .core.experiment import (
+    bam_system,
+    cxl_system,
+    emogi_system,
+    run_experiment,
+    xlfdd_system,
+)
+from .core.report import format_table
+from .core.requirements import requirements_for
+from .errors import ReproError
+from .graph.datasets import DEFAULT_SCALE, load_dataset
+from .graph.stats import graph_stats
+from .interconnect.pcie import PCIeLink
+from .units import USEC, to_usec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'GPU Graph Processing on CXL-Based "
+            "Microsecond-Latency External Memory' (SC-W 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table 1)")
+    _add_dataset_args(stats)
+
+    run = sub.add_parser("run", help="run one experiment")
+    _add_dataset_args(run)
+    run.add_argument(
+        "--algorithm", default="bfs", choices=["bfs", "sssp", "cc", "pagerank"]
+    )
+    run.add_argument(
+        "--system",
+        default="emogi",
+        choices=["emogi", "bam", "xlfdd", "cxl"],
+        help="system configuration to price the workload on",
+    )
+    run.add_argument(
+        "--link", default=None, choices=["gen3", "gen4", "gen5"],
+        help="PCIe link generation (default: gen4; gen3 for cxl)",
+    )
+    run.add_argument(
+        "--added-latency-us", type=float, default=0.0,
+        help="CXL latency bridge setting (cxl system only)",
+    )
+    run.add_argument(
+        "--alignment", type=int, default=16, help="alignment (xlfdd system only)"
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper table/figure")
+    figure.add_argument("name", choices=sorted(figures.ALL_FIGURES))
+    figure.add_argument("--scale", type=int, default=None)
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument(
+        "--plot", action="store_true",
+        help="also render the series as an ASCII chart",
+    )
+    figure.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the rows to PATH (.csv / .json / .txt)",
+    )
+
+    req = sub.add_parser("requirements", help="Equation 6 requirements")
+    req.add_argument("--link", default="gen4", choices=["gen3", "gen4", "gen5"])
+    req.add_argument(
+        "--transfer-bytes", type=float, default=89.6,
+        help="average transfer size d (default d_EMOGI)",
+    )
+
+    evaluate = sub.add_parser(
+        "evaluate", help="run the full evaluation matrix (Figures 6 + 11)"
+    )
+    evaluate.add_argument("--scale", type=int, default=13)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the paper's headline claims hold",
+    )
+
+    chase = sub.add_parser("chase", help="pointer-chase latency microbenchmark")
+    chase.add_argument(
+        "--target", default="dram1",
+        choices=["dram0", "dram1", "cxl0", "cxl3"],
+    )
+    chase.add_argument("--added-latency-us", type=float, default=0.0)
+    chase.add_argument("--hops", type=int, default=256)
+    return parser
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="urand", choices=["urand", "kron", "friendster"]
+    )
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_stats(args: argparse.Namespace) -> str:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    return format_table([graph_stats(graph).as_dict()], title="dataset statistics")
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    link_name = args.link or ("gen3" if args.system == "cxl" else "gen4")
+    link = PCIeLink.from_name(link_name)
+    if args.system == "emogi":
+        system = emogi_system(link)
+    elif args.system == "bam":
+        system = bam_system(link)
+    elif args.system == "xlfdd":
+        system = xlfdd_system(link, alignment_bytes=args.alignment)
+    else:
+        system = cxl_system(args.added_latency_us * USEC, link)
+    result = run_experiment(graph, args.algorithm, system)
+    return format_table([result.as_row()], title=system.describe())
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    kwargs = {"seed": args.seed} if args.seed is not None else {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    fn = figures.ALL_FIGURES[args.name]
+    # Figures 9/10 and the requirements table are scale/seed-independent.
+    import inspect
+
+    accepted = inspect.signature(fn).parameters
+    kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    result = fn(**kwargs)
+    parts = [result.render()]
+    if args.plot:
+        parts.append("")
+        parts.append(figures.plot_figure(result))
+    if args.output:
+        from .core.export import save_rows
+
+        path = save_rows(result.rows, args.output)
+        parts.append(f"rows written to {path}")
+    return "\n".join(parts)
+
+
+def _cmd_requirements(args: argparse.Namespace) -> str:
+    link = PCIeLink.from_name(args.link)
+    req = requirements_for(link, transfer_bytes=args.transfer_bytes)
+    return req.describe()
+
+
+def _cmd_chase(args: argparse.Namespace) -> str:
+    from .config import AGILEX_CHANNEL_BANDWIDTH, CXL_BASE_ADDED_LATENCY
+    from .interconnect.topology import paper_topology
+    from .sim.des import DESConfig
+    from .sim.pointer_chase import pointer_chase_latency
+    from .units import MB_PER_S
+
+    topology = paper_topology()
+    device_added = (
+        CXL_BASE_ADDED_LATENCY + args.added_latency_us * USEC
+        if args.target.startswith("cxl")
+        else args.added_latency_us * USEC
+    )
+    latency = topology.path_latency(args.target, device_added)
+    config = DESConfig(
+        link_bandwidth=12_000 * MB_PER_S,
+        latency=latency,
+        device_iops=AGILEX_CHANNEL_BANDWIDTH / 64,
+        device_internal_bandwidth=AGILEX_CHANNEL_BANDWIDTH,
+    )
+    result = pointer_chase_latency(config, hops=args.hops)
+    return (
+        f"{args.target}: {to_usec(result.latency):.2f} us over "
+        f"{result.hops} dependent reads"
+    )
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> str:
+    from .core.suite import run_evaluation
+    from .errors import ReproError
+
+    report = run_evaluation(scale=args.scale, seed=args.seed)
+    output = report.render()
+    if args.check:
+        checks = report.headline_checks()
+        lines = [
+            f"  [{'ok' if passed else 'FAIL'}] {name}"
+            for name, passed in checks.items()
+        ]
+        output += "\nheadline checks:\n" + "\n".join(lines)
+        if not all(checks.values()):
+            raise ReproError("headline checks failed")
+    return output
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "run": _cmd_run,
+    "figure": _cmd_figure,
+    "requirements": _cmd_requirements,
+    "evaluate": _cmd_evaluate,
+    "chase": _cmd_chase,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Result export: CSV / JSON / text serialisation of figure rows.
+
+Every figure function returns plain dict rows; these helpers turn them
+into files so downstream tooling (plotting, spreadsheets, regression
+tracking) can consume the reproduction's numbers.  Used by the CLI's
+``--output`` option.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..errors import ModelError
+
+__all__ = ["rows_to_csv", "rows_to_json", "save_rows", "load_rows"]
+
+
+def _check_rows(rows: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    if not rows:
+        raise ModelError("cannot export an empty row set")
+    return [dict(r) for r in rows]
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Serialise rows to CSV text (union of keys, first-seen order)."""
+    rows = _check_rows(rows)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Mapping[str, Any]], *, indent: int = 2) -> str:
+    """Serialise rows to a JSON array of objects."""
+    rows = _check_rows(rows)
+
+    def default(obj: Any):
+        # Numpy scalars and similar numerics serialise as plain numbers.
+        if hasattr(obj, "item"):
+            return obj.item()
+        raise TypeError(f"not JSON-serialisable: {type(obj).__name__}")
+
+    return json.dumps(rows, indent=indent, default=default)
+
+
+def save_rows(
+    rows: Sequence[Mapping[str, Any]],
+    path: str | os.PathLike,
+    *,
+    format: str | None = None,
+) -> Path:
+    """Write rows to ``path`` as csv/json/txt (inferred from the suffix).
+
+    ``txt`` uses the same aligned table the CLI prints.  Returns the
+    resolved path.
+    """
+    path = Path(path)
+    fmt = (format or path.suffix.lstrip(".") or "csv").lower()
+    if fmt == "csv":
+        text = rows_to_csv(rows)
+    elif fmt == "json":
+        text = rows_to_json(rows)
+    elif fmt == "txt":
+        from .report import format_table
+
+        text = format_table(rows) + "\n"
+    else:
+        raise ModelError(f"unknown export format {fmt!r} (csv/json/txt)")
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_rows(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Load rows saved by :func:`save_rows` (csv or json).
+
+    CSV values come back as strings except those parseable as numbers,
+    which are converted — enough for round-tripping figure tables.
+    """
+    path = Path(path)
+    suffix = path.suffix.lstrip(".").lower()
+    text = path.read_text(encoding="utf-8")
+    if suffix == "json":
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise ModelError(f"{path}: expected a JSON array of rows")
+        return [dict(r) for r in data]
+    if suffix == "csv":
+        reader = csv.DictReader(io.StringIO(text))
+        rows = []
+        for raw in reader:
+            row: dict[str, Any] = {}
+            for key, value in raw.items():
+                try:
+                    row[key] = int(value)
+                except (TypeError, ValueError):
+                    try:
+                        row[key] = float(value)
+                    except (TypeError, ValueError):
+                        row[key] = value
+            rows.append(row)
+        if not rows:
+            raise ModelError(f"{path}: no rows")
+        return rows
+    raise ModelError(f"cannot load format {suffix!r} (csv/json)")

@@ -1,0 +1,116 @@
+"""Terminal plotting: ASCII charts for figure series.
+
+The CLI renders figure series as text charts (`repro figure figure11
+--plot`), so the paper's curves are eyeballable without any plotting
+dependency.  Two primitives: a block-character :func:`sparkline` for
+one-liners, and :func:`ascii_chart` for a full axes-labelled scatter of
+one or more series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ModelError
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_MARKERS = "*o+x#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character chart of a series (min-max scaled)."""
+    if not values:
+        raise ModelError("sparkline needs at least one value")
+    lo = min(values)
+    hi = max(values)
+    if math.isclose(lo, hi):
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if math.isclose(lo, hi):
+        return 0
+    idx = int(round((value - lo) / (hi - lo) * (cells - 1)))
+    return min(max(idx, 0), cells - 1)
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    title: str | None = None,
+) -> str:
+    """Multi-series scatter chart in plain text.
+
+    ``series`` maps a label to ``(xs, ys)``; each series gets its own
+    marker and a legend line.  ``log_x`` places points by log2(x) — the
+    natural axis for alignment sweeps.
+    """
+    if not series:
+        raise ModelError("ascii_chart needs at least one series")
+    if width < 8 or height < 4:
+        raise ModelError("chart must be at least 8x4 cells")
+    points: list[tuple[float, float, int]] = []
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        if len(xs) != len(ys):
+            raise ModelError(f"series {label!r}: x/y length mismatch")
+        if not xs:
+            raise ModelError(f"series {label!r} is empty")
+        for x, y in zip(xs, ys):
+            if log_x:
+                if x <= 0:
+                    raise ModelError("log_x requires positive x values")
+                x = math.log2(x)
+            points.append((float(x), float(y), index))
+
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        marker = _MARKERS[index % len(_MARKERS)]
+        grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_text = f"{y_hi:.3g}"
+    y_lo_text = f"{y_lo:.3g}"
+    margin = max(len(y_hi_text), len(y_lo_text)) + 1
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_text.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_text.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_cells)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_lo_raw = 2 ** x_lo if log_x else x_lo
+    x_hi_raw = 2 ** x_hi if log_x else x_hi
+    axis_note = f"{x_label}: {x_lo_raw:.6g} .. {x_hi_raw:.6g}"
+    if log_x:
+        axis_note += " (log2 axis)"
+    lines.append(" " * (margin + 1) + axis_note + f"    {y_label} vertical")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""External-memory requirements — Equation 6 and Observation 2.
+
+Inverting Equation 2: for the link to stay saturated at transfer size
+``d``, the external memory must deliver ``S >= W / d`` IOPS and respond
+within ``L <= N_max d / W``.  The paper's headline numbers:
+
+* Gen 4.0, ``d_EMOGI = 89.6 B``: S >= 268 MIOPS, L <= 2.87 us (Section 3.4);
+* Gen 3.0 (the CXL rig): S >= 134 MIOPS, L <= 1.91 us (Section 4.2.2);
+* XLFDD with sublist-sized 256 B transfers: S >= 93.75 MIOPS (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import EMOGI_AVG_TRANSFER_BYTES
+from ..errors import ModelError
+from ..interconnect.pcie import PCIeLink, PCIE_GEN3, PCIE_GEN4
+from ..units import to_miops, to_usec
+
+__all__ = [
+    "ExternalMemoryRequirements",
+    "requirements_for",
+    "paper_gen4_requirements",
+    "paper_gen3_requirements",
+    "xlfdd_requirements",
+]
+
+
+@dataclass(frozen=True)
+class ExternalMemoryRequirements:
+    """What external memory must deliver to keep a link saturated."""
+
+    transfer_bytes: float
+    min_iops: float
+    max_latency: float
+    link_name: str
+
+    def satisfied_by(self, iops: float, latency: float) -> bool:
+        """Whether a device (pool) meets both requirements."""
+        if iops <= 0 or latency <= 0:
+            raise ModelError("iops and latency must be positive")
+        return iops >= self.min_iops and latency <= self.max_latency
+
+    def describe(self) -> str:
+        """One-line summary in the paper's units."""
+        return (
+            f"{self.link_name} @ d={self.transfer_bytes:.1f} B: "
+            f"S >= {to_miops(self.min_iops):.2f} MIOPS, "
+            f"L <= {to_usec(self.max_latency):.2f} us"
+        )
+
+
+def requirements_for(
+    link: PCIeLink, transfer_bytes: float = EMOGI_AVG_TRANSFER_BYTES
+) -> ExternalMemoryRequirements:
+    """Equation 6 for an arbitrary link and transfer size.
+
+    ``min{S, N_max / L} * d >= W`` splits into the two bounds below.
+    """
+    if transfer_bytes <= 0:
+        raise ModelError(f"transfer size must be positive, got {transfer_bytes}")
+    bandwidth = link.effective_bandwidth
+    return ExternalMemoryRequirements(
+        transfer_bytes=transfer_bytes,
+        min_iops=bandwidth / transfer_bytes,
+        max_latency=link.max_outstanding_reads * transfer_bytes / bandwidth,
+        link_name=link.describe(),
+    )
+
+
+def paper_gen4_requirements() -> ExternalMemoryRequirements:
+    """Section 3.4's numbers: S >= 268 MIOPS, L <= 2.87 us."""
+    return requirements_for(PCIeLink(PCIE_GEN4))
+
+
+def paper_gen3_requirements() -> ExternalMemoryRequirements:
+    """Section 4.2.2's numbers: S >= 134 MIOPS, L <= 1.91 us."""
+    return requirements_for(PCIeLink(PCIE_GEN3))
+
+
+def xlfdd_requirements(
+    avg_sublist_bytes: float = 256.0,
+) -> ExternalMemoryRequirements:
+    """Section 4.1.1: sublist-sized transfers relax the IOPS requirement.
+
+    XLFDD reads whole sublists (urand's average is 256 B), so
+    ``S * 256 >= 24,000 MB/s`` gives S >= 93.75 MIOPS.  Latency is
+    unconstrained by PCIe tags (storage access), so the latency bound
+    reported here reflects the GPU-warp concurrency budget instead.
+    """
+    from ..config import GPU_ACTIVE_WARPS_BFS
+
+    if avg_sublist_bytes <= 0:
+        raise ModelError("avg_sublist_bytes must be positive")
+    link = PCIeLink(PCIE_GEN4)
+    bandwidth = link.effective_bandwidth
+    return ExternalMemoryRequirements(
+        transfer_bytes=avg_sublist_bytes,
+        min_iops=bandwidth / avg_sublist_bytes,
+        max_latency=GPU_ACTIVE_WARPS_BFS * avg_sublist_bytes / bandwidth,
+        link_name=f"{link.describe()} (storage: warp-limited)",
+    )

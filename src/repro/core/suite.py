@@ -1,0 +1,136 @@
+"""The full evaluation suite in one call.
+
+``run_evaluation`` executes the complete paper matrix — every dataset,
+both traversal algorithms, all four systems, plus the CXL latency sweep —
+and returns a single structured report.  This is the programmatic
+equivalent of "reproduce the evaluation section", used by the
+``repro evaluate`` CLI command and the release smoke test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ModelError
+from ..graph.datasets import load_dataset
+from ..interconnect.pcie import PCIeLink
+from ..units import USEC
+from .experiment import (
+    bam_system,
+    cxl_system,
+    emogi_system,
+    run_algorithm,
+    run_experiment,
+    xlfdd_system,
+)
+from .report import format_table, geometric_mean
+
+__all__ = ["EvaluationReport", "run_evaluation"]
+
+
+@dataclass
+class EvaluationReport:
+    """All rows of one full evaluation run plus headline aggregates."""
+
+    scale: int
+    comparison_rows: list[dict] = field(default_factory=list)
+    latency_rows: list[dict] = field(default_factory=list)
+    xlfdd_geomean: float = 0.0
+    bam_geomean: float = 0.0
+    cxl_flat_worst: float = 0.0
+
+    def render(self) -> str:
+        """Human-readable multi-table report."""
+        parts = [
+            format_table(
+                self.comparison_rows,
+                title=f"evaluation @ scale {self.scale}: normalized runtimes "
+                "(Figure 6 matrix)",
+            ),
+            "",
+            format_table(
+                self.latency_rows,
+                title="CXL latency sweep, Gen3 (Figure 11 matrix)",
+            ),
+            "",
+            f"geomean normalized runtime: xlfdd {self.xlfdd_geomean:.2f}x "
+            f"(paper 1.13x), bam {self.bam_geomean:.2f}x (paper 2.76x)",
+            f"worst CXL(+0us) deviation from host DRAM: "
+            f"{100 * (self.cxl_flat_worst - 1):.1f}% (paper: 'almost identical')",
+        ]
+        return "\n".join(parts)
+
+    def headline_checks(self) -> dict[str, bool]:
+        """The paper's claims as booleans (for CI-style gating)."""
+        return {
+            "observation1_xlfdd_near_dram": self.xlfdd_geomean < 1.4,
+            "observation1_bam_clearly_slower": self.bam_geomean > 1.4,
+            "observation1_ordering": self.xlfdd_geomean < self.bam_geomean,
+            "observation2_flat_at_zero": self.cxl_flat_worst < 1.12,
+        }
+
+
+def run_evaluation(
+    scale: int = 13,
+    seed: int = 0,
+    *,
+    datasets: Sequence[str] = ("urand", "kron", "friendster"),
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    added_latencies_us: Sequence[float] = (0, 1, 2, 3),
+) -> EvaluationReport:
+    """Run the complete evaluation matrix at ``scale``."""
+    if not datasets or not algorithms:
+        raise ModelError("need at least one dataset and one algorithm")
+    report = EvaluationReport(scale=scale)
+    gen3 = PCIeLink.from_name("gen3")
+    gen4 = PCIeLink.from_name("gen4")
+    xlfdd_norms: list[float] = []
+    bam_norms: list[float] = []
+    cxl_flat: list[float] = []
+    for dataset in datasets:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        for algorithm in algorithms:
+            trace = run_algorithm(graph, algorithm)
+            # Figure 6 matrix on Gen4.
+            baseline4 = run_experiment(
+                graph, algorithm, emogi_system(gen4), trace=trace
+            ).runtime
+            for system in (xlfdd_system(gen4), bam_system(gen4)):
+                result = run_experiment(graph, algorithm, system, trace=trace)
+                norm = result.runtime / baseline4
+                (xlfdd_norms if "xlfdd" in system.name else bam_norms).append(norm)
+                report.comparison_rows.append(
+                    {
+                        "dataset": dataset,
+                        "algorithm": algorithm,
+                        "system": system.name,
+                        "normalized_runtime": norm,
+                    }
+                )
+            # Figure 11 matrix on Gen3.
+            baseline3 = run_experiment(
+                graph, algorithm, emogi_system(gen3), trace=trace
+            ).runtime
+            for added_us in added_latencies_us:
+                result = run_experiment(
+                    graph,
+                    algorithm,
+                    cxl_system(added_us * USEC, gen3),
+                    trace=trace,
+                )
+                norm = result.runtime / baseline3
+                if added_us == 0:
+                    cxl_flat.append(norm)
+                report.latency_rows.append(
+                    {
+                        "dataset": dataset,
+                        "algorithm": algorithm,
+                        "added_latency_us": added_us,
+                        "normalized_runtime": norm,
+                    }
+                )
+    report.xlfdd_geomean = geometric_mean(xlfdd_norms)
+    report.bam_geomean = geometric_mean(bam_norms)
+    report.cxl_flat_worst = max(cxl_flat)
+    return report

@@ -1,0 +1,157 @@
+"""Parameter sweeps behind the paper's figures.
+
+Every runtime figure in the paper is "sweep one knob, normalise by the
+EMOGI/host-DRAM runtime": alignment size for Figure 5, (algorithm x
+dataset) for Figure 6, added CXL latency for Figure 11.  These helpers
+run those sweeps on a shared trace so that every point prices the same
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ModelError
+from ..graph.csr import CSRGraph
+from ..interconnect.pcie import PCIeLink
+from ..traversal.trace import AccessTrace
+from .experiment import (
+    bam_system,
+    cxl_system,
+    emogi_system,
+    run_algorithm,
+    run_experiment,
+    xlfdd_system,
+)
+from .runtime_model import SystemModel, predict_runtime
+
+__all__ = [
+    "SweepPoint",
+    "normalized",
+    "alignment_sweep",
+    "cxl_latency_sweep",
+    "method_comparison",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value, the runtime, and the ratio to
+    the baseline system's runtime on the identical workload."""
+
+    x: float
+    runtime: float
+    normalized_runtime: float
+    system: str
+    bound: str
+
+
+def normalized(runtimes: Sequence[float], baseline: float) -> list[float]:
+    """Each runtime divided by ``baseline`` (the figures' y-axis)."""
+    if baseline <= 0:
+        raise ModelError(f"baseline runtime must be positive, got {baseline}")
+    return [r / baseline for r in runtimes]
+
+
+def alignment_sweep(
+    trace: AccessTrace,
+    alignments: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+    link: PCIeLink | None = None,
+    *,
+    include_bam: bool = True,
+) -> dict[str, list[SweepPoint]]:
+    """Figure 5: XLFDD runtime vs alignment, normalised by EMOGI.
+
+    Returns ``{"xlfdd": [...], "bam": [...]}`` (BaM is the single 4 kB
+    comparison point the figure overlays).
+    """
+    link = link or PCIeLink.from_name("gen4")
+    baseline = predict_runtime(trace, emogi_system(link)).runtime
+    points: list[SweepPoint] = []
+    for alignment in alignments:
+        result = predict_runtime(trace, xlfdd_system(link, alignment_bytes=alignment))
+        points.append(
+            SweepPoint(
+                x=float(alignment),
+                runtime=result.runtime,
+                normalized_runtime=result.runtime / baseline,
+                system=result.system,
+                bound=result.dominant_bound(),
+            )
+        )
+    out = {"xlfdd": points}
+    if include_bam:
+        result = predict_runtime(trace, bam_system(link))
+        out["bam"] = [
+            SweepPoint(
+                x=4096.0,
+                runtime=result.runtime,
+                normalized_runtime=result.runtime / baseline,
+                system=result.system,
+                bound=result.dominant_bound(),
+            )
+        ]
+    return out
+
+
+def cxl_latency_sweep(
+    trace: AccessTrace,
+    added_latencies: Sequence[float] = (0.0, 1e-6, 2e-6, 3e-6),
+    link: PCIeLink | None = None,
+    *,
+    devices: int = 5,
+) -> list[SweepPoint]:
+    """Figure 11: CXL runtime vs added latency, normalised by host DRAM.
+
+    Both systems run the identical EMOGI workload over the same link
+    (Gen 3.0 by default, as in Section 4.2.2).
+    """
+    link = link or PCIeLink.from_name("gen3")
+    baseline = predict_runtime(trace, emogi_system(link)).runtime
+    points = []
+    for added in added_latencies:
+        result = predict_runtime(trace, cxl_system(added, link, devices=devices))
+        points.append(
+            SweepPoint(
+                x=added,
+                runtime=result.runtime,
+                normalized_runtime=result.runtime / baseline,
+                system=result.system,
+                bound=result.dominant_bound(),
+            )
+        )
+    return points
+
+
+def method_comparison(
+    graphs: Sequence[CSRGraph],
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    link: PCIeLink | None = None,
+    *,
+    systems: Sequence[SystemModel] | None = None,
+    source: int | None = None,
+) -> list[dict[str, float | str]]:
+    """Figure 6: normalised runtimes of XLFDD and BaM across workloads.
+
+    One row per (graph, algorithm, system) with the EMOGI-normalised
+    runtime; callers aggregate with
+    :func:`repro.core.report.geometric_mean` to reproduce the paper's
+    "1.13x vs 2.76x" summary.
+    """
+    link = link or PCIeLink.from_name("gen4")
+    if systems is None:
+        systems = (xlfdd_system(link), bam_system(link))
+    rows: list[dict[str, float | str]] = []
+    for graph in graphs:
+        for algorithm in algorithms:
+            trace = run_algorithm(graph, algorithm, source)
+            baseline = run_experiment(
+                graph, algorithm, emogi_system(link), trace=trace
+            ).runtime
+            for system in systems:
+                result = run_experiment(graph, algorithm, system, trace=trace)
+                row = result.as_row()
+                row["normalized_runtime"] = result.runtime / baseline
+                rows.append(row)
+    return rows

@@ -1,0 +1,232 @@
+"""The Agilex-7 CXL memory prototype with its adjustable latency bridge.
+
+Models Section 4.2's device: two CXL.mem instances in front of a latency
+bridge and single-channel onboard DRAM (Figure 7).  The measured
+characteristics this model encodes (Figure 10):
+
+* throughput capped at ~5,700 MB/s by the single DRAM channel;
+* at most 128 outstanding 64 B requests (hence 64 GPU-visible requests,
+  since 96/128 B GPU reads split into two flits);
+* throughput falling as ``128 * 64 B / L`` once the added latency pushes
+  the Little's-law bound below the channel cap.
+
+The latency bridge itself (Appendix A) is a FIFO that timestamps requests
+and releases them ``added_latency`` later, in order; :class:`LatencyBridge`
+reproduces that behaviour exactly for the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import (
+    AGILEX_CHANNEL_BANDWIDTH,
+    AGILEX_MAX_OUTSTANDING,
+    CXL_BASE_ADDED_LATENCY,
+    CXL_FLIT_BYTES,
+    GPU_CACHE_LINE_BYTES,
+    GPU_SECTOR_BYTES,
+)
+from ..errors import DeviceError
+from ..interconnect.cxl_proto import check_tag_budget, gpu_visible_outstanding
+from ..units import GIB, USEC
+from .base import AccessKind, DeviceProfile, DevicePool
+
+__all__ = [
+    "LatencyBridge",
+    "OutOfOrderLatencyBridge",
+    "head_of_line_penalty",
+    "CXLMemoryDevice",
+    "agilex_prototype",
+    "cxl_memory_pool",
+]
+
+
+@dataclass(frozen=True)
+class LatencyBridge:
+    """Appendix A's FIFO latency bridge.
+
+    Each response is held until ``added_latency`` after its request's
+    arrival, and responses leave strictly in arrival order (the Agilex CXL
+    interface processes requests in order).
+    """
+
+    added_latency: float
+
+    def __post_init__(self) -> None:
+        if self.added_latency < 0:
+            raise DeviceError(f"added latency must be >= 0, got {self.added_latency}")
+
+    def release_times(
+        self, arrival_times: np.ndarray, dram_latency: float
+    ) -> np.ndarray:
+        """Departure time of each response given in-order FIFO semantics.
+
+        ``release[i] = max(arrival[i] + dram + added, release[i-1])`` — a
+        response can leave no earlier than its own deadline nor before its
+        predecessor (head-of-line blocking of the in-order FIFO).
+        """
+        if dram_latency < 0:
+            raise DeviceError("dram_latency must be >= 0")
+        arrival_times = np.asarray(arrival_times, dtype=np.float64)
+        if arrival_times.size and np.any(np.diff(arrival_times) < 0):
+            raise DeviceError("arrival times must be non-decreasing")
+        deadlines = arrival_times + dram_latency + self.added_latency
+        return np.maximum.accumulate(deadlines)
+
+
+@dataclass(frozen=True)
+class OutOfOrderLatencyBridge(LatencyBridge):
+    """Appendix A's "slightly more involved design": out-of-order release.
+
+    Responses leave as soon as their own deadline passes, regardless of
+    predecessors — no head-of-line blocking.  With a *constant* DRAM
+    latency this is identical to the FIFO bridge (deadlines are already
+    sorted); the difference appears only when per-request DRAM latencies
+    vary (bank conflicts, refresh), which is why the paper could ship the
+    simple FIFO.
+    """
+
+    def release_times(
+        self, arrival_times: np.ndarray, dram_latency: float | np.ndarray
+    ) -> np.ndarray:
+        arrival_times = np.asarray(arrival_times, dtype=np.float64)
+        if arrival_times.size and np.any(np.diff(arrival_times) < 0):
+            raise DeviceError("arrival times must be non-decreasing")
+        dram = np.asarray(dram_latency, dtype=np.float64)
+        if np.any(dram < 0):
+            raise DeviceError("dram_latency must be >= 0")
+        return arrival_times + dram + self.added_latency
+
+    def release_times_variable(
+        self, arrival_times: np.ndarray, dram_latencies: np.ndarray
+    ) -> np.ndarray:
+        """Alias of :meth:`release_times` accepting per-request latencies."""
+        return self.release_times(arrival_times, dram_latencies)
+
+
+def head_of_line_penalty(
+    arrival_times: np.ndarray,
+    dram_latencies: np.ndarray,
+    added_latency: float = 0.0,
+) -> float:
+    """Mean extra response delay the in-order FIFO adds over out-of-order.
+
+    Feeds the same (arrival, per-request DRAM latency) sequence through
+    both bridge designs and returns the average difference in release
+    time — zero when DRAM latency is constant, positive once latencies
+    vary (a slow request blocks every response queued behind it).
+    """
+    arrival_times = np.asarray(arrival_times, dtype=np.float64)
+    dram_latencies = np.asarray(dram_latencies, dtype=np.float64)
+    if arrival_times.shape != dram_latencies.shape:
+        raise DeviceError("arrivals and latencies must have the same shape")
+    if arrival_times.size == 0:
+        return 0.0
+    ooo = OutOfOrderLatencyBridge(added_latency).release_times(
+        arrival_times, dram_latencies
+    )
+    # The FIFO bridge with per-request latencies: monotone cumulative max
+    # of the out-of-order deadlines (same recurrence as release_times,
+    # generalised to a latency vector).
+    fifo = np.maximum.accumulate(ooo)
+    return float((fifo - ooo).mean())
+
+
+@dataclass(frozen=True)
+class CXLMemoryDevice:
+    """One CXL memory board: interface + latency bridge + onboard DRAM.
+
+    ``base_latency`` is the device's contribution to the GPU-observed
+    latency with the bridge set to zero — Figure 9 shows the CXL DRAM path
+    adding ~0.5 us over host DRAM.
+    """
+
+    name: str = "cxl-agilex"
+    added_latency: float = 0.0
+    base_latency: float = CXL_BASE_ADDED_LATENCY
+    channel_bandwidth: float = AGILEX_CHANNEL_BANDWIDTH
+    max_outstanding_flits: int = AGILEX_MAX_OUTSTANDING
+    capacity_bytes: int = 16 * GIB
+
+    def __post_init__(self) -> None:
+        if self.added_latency < 0 or self.base_latency <= 0:
+            raise DeviceError("latencies must be positive (added >= 0)")
+        if self.channel_bandwidth <= 0:
+            raise DeviceError("channel bandwidth must be positive")
+        check_tag_budget(self.max_outstanding_flits)
+
+    @property
+    def bridge(self) -> LatencyBridge:
+        """The configured latency bridge."""
+        return LatencyBridge(self.added_latency)
+
+    @property
+    def device_latency(self) -> float:
+        """Total device-internal latency: base path + bridge setting."""
+        return self.base_latency + self.added_latency
+
+    @property
+    def gpu_visible_outstanding(self) -> int:
+        """Outstanding GPU requests this device supports (Section 4.2.2).
+
+        128 B (or 96 B) GPU reads split into two 64 B CXL reads, so the
+        GPU-visible budget is half the flit-level tag count: 64.
+        """
+        return gpu_visible_outstanding(
+            self.max_outstanding_flits, GPU_CACHE_LINE_BYTES
+        )
+
+    def cpu_read_throughput(self, cpu_path_latency: float = 0.1 * USEC) -> float:
+        """Figure 10's measurement: 64 B random-read throughput from the CPU.
+
+        ``min(channel_bandwidth, max_flits * 64 / L)`` with ``L`` the
+        CPU-observed latency (device latency + CPU-side path).
+        """
+        if cpu_path_latency < 0:
+            raise DeviceError("cpu_path_latency must be >= 0")
+        latency = self.device_latency + cpu_path_latency
+        little = self.max_outstanding_flits * CXL_FLIT_BYTES / latency
+        return min(self.channel_bandwidth, little)
+
+    def observed_outstanding(self, cpu_path_latency: float = 0.1 * USEC) -> float:
+        """Figure 10's second series: ``N_CXL = T * L / d`` (Equation 3)."""
+        latency = self.device_latency + cpu_path_latency
+        return self.cpu_read_throughput(cpu_path_latency) * latency / CXL_FLIT_BYTES
+
+    def profile(self) -> DeviceProfile:
+        """This device as a generic :class:`DeviceProfile`.
+
+        The IOPS field is the flit service-rate ceiling implied by the
+        channel (the DRAM behind it is not op-limited); ``max_outstanding``
+        is the GPU-visible budget, matching how the runtime model counts
+        concurrent *GPU* requests.
+        """
+        return DeviceProfile(
+            name=self.name,
+            kind=AccessKind.MEMORY,
+            alignment_bytes=GPU_SECTOR_BYTES,
+            iops=self.channel_bandwidth / CXL_FLIT_BYTES,
+            latency=self.device_latency,
+            internal_bandwidth=self.channel_bandwidth,
+            max_transfer_bytes=None,
+            max_outstanding=self.gpu_visible_outstanding,
+            capacity_bytes=self.capacity_bytes,
+        )
+
+
+def agilex_prototype(added_latency: float = 0.0) -> CXLMemoryDevice:
+    """The paper's prototype with the bridge set to ``added_latency``."""
+    return CXLMemoryDevice(added_latency=added_latency)
+
+
+def cxl_memory_pool(count: int = 5, added_latency: float = 0.0) -> DevicePool:
+    """``count`` prototypes striped together (the paper uses five).
+
+    Five devices give 320 GPU-visible outstanding requests — deliberately
+    above PCIe Gen 3.0's 256 so the link, not the prototype, is the
+    concurrency bottleneck (Section 4.2.2).
+    """
+    return DevicePool(device=agilex_prototype(added_latency).profile(), count=count)

@@ -1,0 +1,57 @@
+"""Host DRAM as external memory (the EMOGI configuration).
+
+From the GPU's perspective the host DRAM is a memory device reached over
+PCIe with ~1.2 us latency (Figure 9).  Its own IOPS and bandwidth are so
+far above what the PCIe link can carry that they never bind (Section
+3.3.1: "the IOPS of the host DRAM-based external memory is excessively
+high") — the profile below encodes that with deliberately generous device
+numbers derived from the DDR channel configuration of Table 3/4.
+"""
+
+from __future__ import annotations
+
+from ..config import GPU_SECTOR_BYTES
+from ..errors import DeviceError
+from ..units import GB_PER_S, GIB, NSEC
+from .base import AccessKind, DeviceProfile
+
+__all__ = ["host_dram_device", "HOST_DRAM_CHANNEL_BANDWIDTH"]
+
+#: Per-channel DDR4-3200 bandwidth (Table 3's host memory): 25.6 GB/s.
+HOST_DRAM_CHANNEL_BANDWIDTH = 25.6 * GB_PER_S
+
+#: DRAM device-internal access time (row activate + CAS, ~90 ns); the
+#: dominant GPU-observed latency is the PCIe/CPU path, added by topology.
+_DRAM_INTERNAL_LATENCY = 90 * NSEC
+
+
+def host_dram_device(
+    *,
+    channels: int = 8,
+    channel_bandwidth: float = HOST_DRAM_CHANNEL_BANDWIDTH,
+    capacity_bytes: int = 128 * GIB,
+    name: str = "host-dram",
+) -> DeviceProfile:
+    """Host DRAM profile for the given channel configuration.
+
+    IOPS is modelled as one 64 B burst per channel per access time — vastly
+    exceeding PCIe needs, as intended.  The access alignment is the GPU
+    sector size (32 B): for a *memory* device the alignment that matters
+    is what crosses the PCIe link, and zero-copy reads are 32 B-granular
+    (Section 3.3.1).
+    """
+    if channels < 1:
+        raise DeviceError(f"need >= 1 DRAM channel, got {channels}")
+    bandwidth = channels * channel_bandwidth
+    iops = bandwidth / 64  # one 64 B burst per op
+    return DeviceProfile(
+        name=name,
+        kind=AccessKind.MEMORY,
+        alignment_bytes=GPU_SECTOR_BYTES,
+        iops=iops,
+        latency=_DRAM_INTERNAL_LATENCY,
+        internal_bandwidth=bandwidth,
+        max_transfer_bytes=None,
+        max_outstanding=None,  # never the binding constraint
+        capacity_bytes=capacity_bytes,
+    )

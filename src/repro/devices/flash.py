@@ -1,0 +1,123 @@
+"""Flash-die timing substrate.
+
+Both flash devices in the paper — XLFDD's "low-latency flash chips with a
+latency of under 5 usec" and the conventional NVMe SSDs — are arrays of
+dies whose random-read capability follows from die-level timing: a die
+can start a new page read every ``read_latency / planes`` on average, so
+an array of ``dies`` independent dies sustains
+``dies * planes / read_latency`` reads/s, until the controller or the
+device link caps it.  Section 2.3 relies on exactly this property
+("multiple dies of microsecond-latency flash memory can support
+sufficient random read performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from ..units import KIB, MIOPS, USEC
+
+__all__ = ["FlashDieSpec", "FlashArray", "LOW_LATENCY_FLASH_DIE", "CONVENTIONAL_TLC_DIE"]
+
+
+@dataclass(frozen=True)
+class FlashDieSpec:
+    """Timing and geometry of one flash die.
+
+    ``page_bytes`` is the internal read unit (and ECC codeword scope) — a
+    die always senses a full page, which is why "reading smaller bytes
+    does not significantly increase the random read performance"
+    (Section 3.2).
+    """
+
+    name: str
+    read_latency: float
+    page_bytes: int
+    planes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.read_latency <= 0:
+            raise DeviceError(f"{self.name}: read latency must be positive")
+        if self.page_bytes < 1:
+            raise DeviceError(f"{self.name}: page size must be >= 1 byte")
+        if self.planes < 1:
+            raise DeviceError(f"{self.name}: plane count must be >= 1")
+
+    @property
+    def reads_per_second(self) -> float:
+        """Sustained page reads/s of one die (planes pipelined)."""
+        return self.planes / self.read_latency
+
+
+#: XL-FLASH-class low-latency die: ~4 us page read, small 4 KiB page,
+#: multi-plane.  64 such dies sustain ~16 MIOPS — comfortably above
+#: XLFDD's 11 MIOPS controller cap.
+LOW_LATENCY_FLASH_DIE = FlashDieSpec(
+    name="xl-flash", read_latency=4 * USEC, page_bytes=4 * KIB, planes=1
+)
+
+#: Conventional TLC die: ~60 us page read, 16 KiB page.
+CONVENTIONAL_TLC_DIE = FlashDieSpec(
+    name="tlc", read_latency=60 * USEC, page_bytes=16 * KIB, planes=4
+)
+
+
+@dataclass(frozen=True)
+class FlashArray:
+    """An array of identical dies behind one controller.
+
+    ``controller_iops_cap`` models the command-processing ceiling of the
+    device's controller/interface; the deliverable IOPS is the smaller of
+    the media capability and that cap.
+    """
+
+    die: FlashDieSpec
+    dies: int
+    controller_iops_cap: float | None = None
+    controller_latency: float = 1 * USEC
+
+    def __post_init__(self) -> None:
+        if self.dies < 1:
+            raise DeviceError("flash array needs >= 1 die")
+        if self.controller_iops_cap is not None and self.controller_iops_cap <= 0:
+            raise DeviceError("controller_iops_cap must be positive")
+        if self.controller_latency < 0:
+            raise DeviceError("controller_latency must be >= 0")
+
+    @property
+    def media_iops(self) -> float:
+        """Aggregate die-level read rate (before the controller cap)."""
+        return self.die.reads_per_second * self.dies
+
+    @property
+    def iops(self) -> float:
+        """Deliverable random-read rate."""
+        if self.controller_iops_cap is None:
+            return self.media_iops
+        return min(self.media_iops, self.controller_iops_cap)
+
+    @property
+    def read_latency(self) -> float:
+        """Unloaded device read latency: die sense time + controller."""
+        return self.die.read_latency + self.controller_latency
+
+    @property
+    def media_bandwidth(self) -> float:
+        """Internal page-granular bandwidth (bytes/s)."""
+        return self.media_iops * self.die.page_bytes
+
+    def dies_required_for(self, target_iops: float) -> int:
+        """Dies needed for a target read rate (Section 2.3's sizing)."""
+        if target_iops <= 0:
+            raise DeviceError("target_iops must be positive")
+        return max(1, -(-int(target_iops) // max(1, int(self.die.reads_per_second))))
+
+
+def _module_self_check() -> None:
+    """Sanity constants: low-latency media actually outruns the XLFDD cap."""
+    array = FlashArray(LOW_LATENCY_FLASH_DIE, dies=64, controller_iops_cap=11 * MIOPS)
+    assert array.media_iops > array.iops
+
+
+_module_self_check()

@@ -1,0 +1,76 @@
+"""NVMe SSDs: the BaM baseline's storage (Sections 2.2 and 3.3.2).
+
+BaM aggregates four low-latency NVMe drives into S = 6 MIOPS and reads at
+its software-cache-line granularity (4 kB).  NVMe addressing is 512 B
+blocks minimum (Section 1: "the standard minimum unit of 512 bytes"), and
+drive IOPS does not improve much below the 4 kB the device is optimised
+for (Section 3.2) — both encoded here.
+"""
+
+from __future__ import annotations
+
+from ..config import (
+    BAM_AGGREGATE_IOPS,
+    BAM_SSD_COUNT,
+    NVME_MIN_BLOCK_BYTES,
+    NVME_SSD_LATENCY,
+)
+from ..errors import DeviceError
+from ..units import GB, KIB, USEC
+from .base import AccessKind, DeviceProfile, DevicePool
+from .flash import CONVENTIONAL_TLC_DIE, FlashArray, FlashDieSpec
+
+__all__ = ["nvme_device", "bam_ssd_array"]
+
+#: NVMe queue depth per drive (many queues x many entries; effectively
+#: "much larger than N_max" per Section 3.2).
+_NVME_QUEUE_DEPTH = 4096
+
+#: PCIe 4.0 x4 drive link (Table 3's FL6 drives): ~6,400 MB/s effective.
+_NVME_LINK_BANDWIDTH = 6_400e6
+
+#: Low-latency storage-class die as in the FL6/P5800X class of drives.
+_LOW_LATENCY_STORAGE_DIE = FlashDieSpec(
+    name="storage-class", read_latency=8 * USEC, page_bytes=4 * KIB, planes=1
+)
+
+
+def nvme_device(
+    *,
+    iops: float = BAM_AGGREGATE_IOPS / BAM_SSD_COUNT,
+    latency: float = NVME_SSD_LATENCY,
+    dies: int = 32,
+    low_latency_media: bool = True,
+    capacity_bytes: int = 800 * GB,
+    name: str = "nvme",
+) -> DeviceProfile:
+    """One NVMe SSD (defaults: a BaM-class 1.5 MIOPS low-latency drive).
+
+    ``low_latency_media=False`` builds a conventional-TLC drive instead,
+    for what-if comparisons; its media then caps IOPS well below the
+    requested rating and the model refuses rather than silently lying.
+    """
+    die = _LOW_LATENCY_STORAGE_DIE if low_latency_media else CONVENTIONAL_TLC_DIE
+    array = FlashArray(die, dies=dies, controller_iops_cap=iops,
+                       controller_latency=2 * USEC)
+    if array.media_iops < iops:
+        raise DeviceError(
+            f"{name}: {dies} {die.name} dies sustain {array.media_iops:,.0f} ops/s, "
+            f"below the requested {iops:,.0f}; add dies or lower the rating"
+        )
+    return DeviceProfile(
+        name=name,
+        kind=AccessKind.STORAGE,
+        alignment_bytes=NVME_MIN_BLOCK_BYTES,
+        iops=array.iops,
+        latency=max(latency, array.read_latency),
+        internal_bandwidth=min(array.media_bandwidth, _NVME_LINK_BANDWIDTH),
+        max_transfer_bytes=None,
+        max_outstanding=_NVME_QUEUE_DEPTH,
+        capacity_bytes=capacity_bytes,
+    )
+
+
+def bam_ssd_array(count: int = BAM_SSD_COUNT, **device_kwargs) -> DevicePool:
+    """BaM's drive set: four drives, 6 MIOPS aggregate (Section 3.3.2)."""
+    return DevicePool(device=nvme_device(**device_kwargs), count=count)

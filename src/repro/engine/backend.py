@@ -1,0 +1,210 @@
+"""External-memory backends: byte stores with device access disciplines.
+
+A backend holds the raw bytes of the edge list and serves byte-range
+reads the way a real device would: rounding to its alignment, splitting
+at its transfer ceiling, optionally deduplicating through a cache — and
+keeping exact counts of what crossed the "link".  The three disciplines
+mirror :mod:`repro.gpu`'s access methods:
+
+* :class:`DirectBackend` — XLFDD-style: one aligned read per request,
+  no cache (Section 4.1.1);
+* :class:`CachedBackend` — BaM-style: cache-line reads through a
+  software cache (Section 3.3.2);
+* :class:`ZeroCopyBackend` — EMOGI-style: 32 B sectors coalesced into
+  up-to-128 B transactions (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GPU_CACHE_LINE_BYTES, GPU_SECTOR_BYTES
+from ..errors import DeviceError
+from ..memsim.alignment import aligned_span, expand_to_blocks, split_by_max_transfer
+from ..memsim.cache import CacheModel, StepLocalCache
+
+__all__ = [
+    "MemoryStats",
+    "ExternalMemoryBackend",
+    "DirectBackend",
+    "CachedBackend",
+    "ZeroCopyBackend",
+]
+
+
+@dataclass
+class MemoryStats:
+    """Running counters of external-memory traffic."""
+
+    requests: int = 0
+    fetched_bytes: int = 0
+    useful_bytes: int = 0
+
+    @property
+    def read_amplification(self) -> float:
+        """Measured RAF = fetched / useful."""
+        return self.fetched_bytes / self.useful_bytes if self.useful_bytes else 0.0
+
+    @property
+    def avg_transfer_bytes(self) -> float:
+        """Measured average request size d."""
+        return self.fetched_bytes / self.requests if self.requests else 0.0
+
+
+class ExternalMemoryBackend(ABC):
+    """A byte store served through a device access discipline.
+
+    ``read`` returns exactly the requested bytes, concatenated in request
+    order, while the stats record what the device actually moved.  A
+    *step boundary* (:meth:`end_step`) tells cache-bearing disciplines
+    that the massively parallel batch ended (see
+    :class:`repro.memsim.cache.StepLocalCache`).
+    """
+
+    def __init__(self, data: np.ndarray | bytes) -> None:
+        self._data = np.frombuffer(bytes(data), dtype=np.uint8).copy()
+        self.stats = MemoryStats()
+
+    @property
+    def size_bytes(self) -> int:
+        """Capacity of the stored byte range."""
+        return self._data.size
+
+    def read(self, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Serve a batch of byte-range reads; returns the gathered bytes."""
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if starts.shape != lengths.shape:
+            raise DeviceError("starts and lengths must have the same shape")
+        if starts.size and (
+            starts.min() < 0 or (starts + lengths).max() > self._data.size
+        ):
+            raise DeviceError("read outside the stored byte range")
+        if lengths.size and lengths.min() < 0:
+            raise DeviceError("lengths must be non-negative")
+        self._account(starts, lengths)
+        self.stats.useful_bytes += int(lengths.sum())
+        return self._gather(starts, lengths)
+
+    def end_step(self) -> None:
+        """Mark a traversal-step boundary (default: nothing to flush)."""
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters (cache state resets too)."""
+        self.stats = MemoryStats()
+
+    @abstractmethod
+    def _account(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        """Update ``stats`` for this batch under the discipline's rules."""
+
+    def _gather(self, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        keep = lengths > 0
+        starts, lengths = starts[keep], lengths[keep]
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.uint8)
+        out_start = np.cumsum(lengths) - lengths
+        idx = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(out_start, lengths)
+            + np.repeat(starts, lengths)
+        )
+        return self._data[idx]
+
+
+class DirectBackend(ExternalMemoryBackend):
+    """Cache-less aligned reads with a transfer ceiling (XLFDD)."""
+
+    def __init__(
+        self,
+        data: np.ndarray | bytes,
+        *,
+        alignment_bytes: int = 16,
+        max_transfer_bytes: int | None = 2_048,
+    ) -> None:
+        super().__init__(data)
+        if alignment_bytes < 1:
+            raise DeviceError("alignment must be >= 1")
+        if max_transfer_bytes is not None and (
+            max_transfer_bytes % alignment_bytes != 0
+        ):
+            raise DeviceError("max transfer must be a multiple of the alignment")
+        self.alignment_bytes = alignment_bytes
+        self.max_transfer_bytes = max_transfer_bytes
+
+    def _account(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        a_starts, a_lengths = aligned_span(starts, lengths, self.alignment_bytes)
+        if self.max_transfer_bytes is not None:
+            a_starts, a_lengths = split_by_max_transfer(
+                a_starts, a_lengths, self.max_transfer_bytes
+            )
+        self.stats.requests += int((a_lengths > 0).sum())
+        self.stats.fetched_bytes += int(a_lengths.sum())
+
+
+class CachedBackend(ExternalMemoryBackend):
+    """Cache-line reads through a software cache (BaM)."""
+
+    def __init__(
+        self,
+        data: np.ndarray | bytes,
+        *,
+        cacheline_bytes: int = 4_096,
+        cache: CacheModel | None = None,
+    ) -> None:
+        super().__init__(data)
+        if cacheline_bytes < 1:
+            raise DeviceError("cacheline must be >= 1")
+        self.cacheline_bytes = cacheline_bytes
+        self.cache = cache if cache is not None else StepLocalCache()
+        self.cache.reset()
+
+    def _account(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        block_ids, _ = expand_to_blocks(starts, lengths, self.cacheline_bytes)
+        misses = self.cache.access(block_ids)
+        self.stats.requests += misses
+        self.stats.fetched_bytes += misses * self.cacheline_bytes
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.cache.reset()
+
+
+class ZeroCopyBackend(ExternalMemoryBackend):
+    """Sector-coalesced load/store access (EMOGI).
+
+    Each request's 32 B-aligned span is chopped at 128 B line boundaries;
+    every piece is one transaction.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray | bytes,
+        *,
+        sector_bytes: int = GPU_SECTOR_BYTES,
+        line_bytes: int = GPU_CACHE_LINE_BYTES,
+    ) -> None:
+        super().__init__(data)
+        if line_bytes % sector_bytes != 0:
+            raise DeviceError("line must be a multiple of the sector")
+        self.sector_bytes = sector_bytes
+        self.line_bytes = line_bytes
+
+    def _account(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        a_starts, a_lengths = aligned_span(starts, lengths, self.sector_bytes)
+        keep = a_lengths > 0
+        a_starts, a_lengths = a_starts[keep], a_lengths[keep]
+        if a_starts.size == 0:
+            return
+        line_ids, request_idx = expand_to_blocks(a_starts, a_lengths, self.line_bytes)
+        line_start = line_ids * self.line_bytes
+        req_start = a_starts[request_idx]
+        req_end = req_start + a_lengths[request_idx]
+        overlap = np.minimum(req_end, line_start + self.line_bytes) - np.maximum(
+            req_start, line_start
+        )
+        self.stats.requests += int(overlap.size)
+        self.stats.fetched_bytes += int(overlap.sum())

@@ -1,0 +1,56 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GraphFormatError",
+    "GraphGenerationError",
+    "TraceError",
+    "DeviceError",
+    "CapacityError",
+    "SimulationError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A graph violates the CSR format invariants (or a file is corrupt)."""
+
+
+class GraphGenerationError(ReproError, ValueError):
+    """Graph generator parameters are invalid (e.g. negative degree)."""
+
+
+class TraceError(ReproError, ValueError):
+    """An access trace is malformed or inconsistent with its graph."""
+
+
+class DeviceError(ReproError, ValueError):
+    """A device model was configured or used incorrectly."""
+
+
+class CapacityError(DeviceError):
+    """Data does not fit on the configured device or device pool."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ModelError(ReproError, ValueError):
+    """An analytical-model query has no solution or invalid inputs."""

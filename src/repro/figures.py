@@ -1,0 +1,478 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each ``figure*``/``table*`` function regenerates the corresponding
+artifact from scratch — workload generation, sweep, normalisation — and
+returns a :class:`FigureResult` whose rows are the same series the paper
+plots.  The benchmark harness (``benchmarks/``) and the CLI both call
+these, so there is exactly one implementation of every experiment.
+
+Scale/seed defaults keep every figure under a few seconds; pass a larger
+``scale`` to tighten the match with the paper's billion-edge graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from .config import (
+    AGILEX_CHANNEL_BANDWIDTH,
+    CXL_BASE_ADDED_LATENCY,
+    EMOGI_AVG_TRANSFER_BYTES,
+)
+from .core.analysis import runtime_vs_transfer_size
+from .core.equations import example_throughput_model
+from .core.experiment import run_algorithm
+from .core.report import format_table, geometric_mean
+from .core.requirements import (
+    paper_gen3_requirements,
+    paper_gen4_requirements,
+    xlfdd_requirements,
+)
+from .core.sweep import alignment_sweep, cxl_latency_sweep, method_comparison
+from .devices.cxl import agilex_prototype
+from .graph.datasets import DATASETS, load_dataset
+from .graph.stats import table1_row
+from .interconnect.topology import paper_topology
+from .memsim.raf import raf_curve
+from .sim.des import DESConfig
+from .sim.pointer_chase import pointer_chase_latency
+from .traversal.bfs import bfs
+from .units import MB_PER_S, USEC, to_mb_per_s, to_usec
+
+__all__ = [
+    "FigureResult",
+    "table1",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure9",
+    "figure10",
+    "figure11",
+    "requirements_table",
+    "ALL_FIGURES",
+    "reproduce",
+]
+
+#: Default reproduction scale (2**14 vertices keeps each figure < ~10 s).
+DEFAULT_SCALE = 14
+
+_ALIGNMENTS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass
+class FigureResult:
+    """Rows of one regenerated table/figure plus provenance notes."""
+
+    name: str
+    description: str
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable rendering (table + notes)."""
+        parts = [format_table(self.rows, title=f"{self.name}: {self.description}")]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+
+def table1(scale: int = DEFAULT_SCALE, seed: int = 0) -> FigureResult:
+    """Table 1: dataset statistics, paper values vs scaled equivalents."""
+    rows = []
+    for name, spec in DATASETS.items():
+        graph = load_dataset(name, scale=scale, seed=seed)
+        measured = table1_row(graph)
+        rows.append(
+            {
+                "dataset": name,
+                "paper_avg_degree": spec.paper_avg_degree,
+                "measured_avg_degree": measured["avg_degree"],
+                "paper_sublist_B": spec.paper_sublist_bytes,
+                "measured_sublist_B": measured["sublist_bytes"],
+                "vertices": measured["vertices"],
+                "edges": measured["edges"],
+            }
+        )
+    return FigureResult(
+        name="table1",
+        description="graph datasets (scaled equivalents)",
+        rows=rows,
+        notes=[f"scale={scale}: 2^{scale} vertices vs the paper's 2^27"],
+    )
+
+
+def table2(scale: int = DEFAULT_SCALE, seed: int = 0, source: int | None = None) -> FigureResult:
+    """Table 2: BFS frontier size per depth on the urand dataset."""
+    graph = load_dataset("urand", scale=scale, seed=seed)
+    if source is None:
+        from .core.experiment import default_source
+
+        source = default_source(graph)
+    result = bfs(graph, source)
+    rows = [
+        {"depth": depth + 1, "vertices": size}
+        for depth, size in enumerate(result.frontier_sizes)
+    ]
+    return FigureResult(
+        name="table2",
+        description="vertices per BFS depth (urand)",
+        rows=rows,
+        notes=[
+            "the paper's shape: a few tiny frontiers, an explosive middle "
+            "(most vertices in 1-2 depths), then a tiny tail"
+        ],
+    )
+
+
+def figure3(
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    alignments: Sequence[int] = _ALIGNMENTS,
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    datasets: Sequence[str] = ("urand", "kron", "friendster"),
+) -> FigureResult:
+    """Figure 3: read amplification vs alignment size, per workload."""
+    rows = []
+    for dataset in datasets:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        for algorithm in algorithms:
+            trace = run_algorithm(graph, algorithm)
+            for result in raf_curve(trace, alignments):
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "algorithm": algorithm,
+                        "alignment_B": result.alignment,
+                        "raf": result.raf,
+                    }
+                )
+    return FigureResult(
+        name="figure3",
+        description="read amplification factor vs alignment size",
+        rows=rows,
+        notes=["RAF is an increasing function of alignment (Observation 1)"],
+    )
+
+
+def figure4(scale: int = DEFAULT_SCALE, seed: int = 0) -> FigureResult:
+    """Figure 4: D(d), T(d), t(d) for BFS/urand under the Eq. 4 example."""
+    graph = load_dataset("urand", scale=scale, seed=seed)
+    trace = run_algorithm(graph, "bfs")
+    raf_results = raf_curve(trace, _ALIGNMENTS)
+    model = example_throughput_model()
+    series = runtime_vs_transfer_size(raf_results, model)
+    rows = [
+        {
+            "transfer_B": float(d),
+            "fetched_MB": float(D) / 1e6,
+            "throughput_MBps": to_mb_per_s(float(T)),
+            "runtime_s": float(t),
+        }
+        for d, D, T, t in zip(
+            series["transfer_bytes"],
+            series["fetched_bytes"],
+            series["throughput"],
+            series["runtime"],
+        )
+    ]
+    d_opt = model.optimal_transfer_size()
+    return FigureResult(
+        name="figure4",
+        description="runtime vs transfer size (S=100 MIOPS, L=16 us, Gen4)",
+        rows=rows,
+        notes=[
+            f"slope s = {model.slope / 1e6:.0f} (the '48' of Eq. 4)",
+            f"optimal transfer size d_opt = W/s = {d_opt:.0f} B",
+        ],
+    )
+
+
+def figure5(
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    alignments: Sequence[int] = _ALIGNMENTS,
+) -> FigureResult:
+    """Figure 5: XLFDD BFS/urand runtime vs alignment, EMOGI-normalised."""
+    graph = load_dataset("urand", scale=scale, seed=seed)
+    trace = run_algorithm(graph, "bfs")
+    sweep = alignment_sweep(trace, alignments)
+    rows = [
+        {
+            "system": "xlfdd",
+            "alignment_B": p.x,
+            "normalized_runtime": p.normalized_runtime,
+            "bound": p.bound,
+        }
+        for p in sweep["xlfdd"]
+    ]
+    for p in sweep["bam"]:
+        rows.append(
+            {
+                "system": "bam",
+                "alignment_B": p.x,
+                "normalized_runtime": p.normalized_runtime,
+                "bound": p.bound,
+            }
+        )
+    return FigureResult(
+        name="figure5",
+        description="normalized BFS runtime vs alignment (urand)",
+        rows=rows,
+        notes=["16/32 B alignments approach host-DRAM speed (Observation 1)"],
+    )
+
+
+def figure6(
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    datasets: Sequence[str] = ("urand", "kron", "friendster"),
+) -> FigureResult:
+    """Figure 6: XLFDD vs BaM normalized runtimes across all workloads."""
+    graphs = [load_dataset(d, scale=scale, seed=seed) for d in datasets]
+    rows = method_comparison(graphs, algorithms)
+    out_rows = [
+        {
+            "graph": row["graph"],
+            "algorithm": row["algorithm"],
+            "system": row["system"],
+            "normalized_runtime": row["normalized_runtime"],
+        }
+        for row in rows
+    ]
+    geomeans = {}
+    for system_prefix in ("xlfdd", "bam"):
+        values = [
+            float(r["normalized_runtime"])
+            for r in out_rows
+            if str(r["system"]).startswith(system_prefix)
+        ]
+        geomeans[system_prefix] = geometric_mean(values)
+    return FigureResult(
+        name="figure6",
+        description="normalized runtimes, BFS+SSSP x 3 datasets",
+        rows=out_rows,
+        notes=[
+            f"geomean xlfdd = {geomeans['xlfdd']:.2f}x "
+            f"(paper: 1.13x), bam = {geomeans['bam']:.2f}x (paper: 2.76x)"
+        ],
+    )
+
+
+def figure9(hops: int = 256) -> FigureResult:
+    """Figure 9: GPU-observed latency by target (pointer chase)."""
+    topology = paper_topology()
+    targets = [
+        ("dram1", 0.0, "host DRAM, GPU socket"),
+        ("dram0", 0.0, "host DRAM, other socket"),
+    ]
+    for added_us in (0, 1, 2, 3):
+        targets.append(
+            (
+                "cxl3",
+                CXL_BASE_ADDED_LATENCY + added_us * USEC,
+                f"CXL (+{added_us} us), GPU socket",
+            )
+        )
+        targets.append(
+            (
+                "cxl0",
+                CXL_BASE_ADDED_LATENCY + added_us * USEC,
+                f"CXL (+{added_us} us), other socket",
+            )
+        )
+    rows = []
+    for device, device_added, label in targets:
+        latency = topology.path_latency(device, device_added)
+        config = DESConfig(
+            link_bandwidth=12_000 * MB_PER_S,
+            latency=latency,
+            device_iops=AGILEX_CHANNEL_BANDWIDTH / 64,
+            device_internal_bandwidth=AGILEX_CHANNEL_BANDWIDTH,
+        )
+        measured = pointer_chase_latency(config, hops=hops)
+        rows.append(
+            {
+                "target": label,
+                "modelled_latency_us": to_usec(latency),
+                "chased_latency_us": to_usec(measured.latency),
+            }
+        )
+    return FigureResult(
+        name="figure9",
+        description="latency seen from the GPU (pointer chase)",
+        rows=rows,
+        notes=["host DRAM ~1.2 us; CXL adds ~0.5 us plus the bridge setting"],
+    )
+
+
+def figure10(added_latencies_us: Sequence[float] = (0, 0.5, 1, 1.5, 2, 2.5, 3)) -> FigureResult:
+    """Figure 10: CXL prototype bandwidth and outstanding reads vs latency."""
+    rows = []
+    for added_us in added_latencies_us:
+        device = agilex_prototype(added_latency=added_us * USEC)
+        rows.append(
+            {
+                "added_latency_us": added_us,
+                "bandwidth_MBps": to_mb_per_s(device.cpu_read_throughput()),
+                "outstanding_reads": device.observed_outstanding(),
+            }
+        )
+    return FigureResult(
+        name="figure10",
+        description="CXL prototype 64 B read bandwidth vs added latency",
+        rows=rows,
+        notes=[
+            "plateau ~5,700 MB/s (single DRAM channel), then N*64B/L decay",
+            "outstanding reads saturate at the prototype's 128-tag limit",
+        ],
+    )
+
+
+def figure11(
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    added_latencies_us: Sequence[float] = (0, 1, 2, 3),
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    datasets: Sequence[str] = ("urand", "kron", "friendster"),
+) -> FigureResult:
+    """Figure 11: CXL vs host-DRAM runtimes for varying added latency."""
+    rows = []
+    for dataset in datasets:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        for algorithm in algorithms:
+            trace = run_algorithm(graph, algorithm)
+            points = cxl_latency_sweep(
+                trace, [u * USEC for u in added_latencies_us]
+            )
+            for p in points:
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "algorithm": algorithm,
+                        "added_latency_us": p.x / USEC,
+                        "normalized_runtime": p.normalized_runtime,
+                        "bound": p.bound,
+                    }
+                )
+    return FigureResult(
+        name="figure11",
+        description="CXL runtime / host-DRAM runtime vs added latency (Gen3)",
+        rows=rows,
+        notes=[
+            "flat (~1.0x) while GPU-observed latency stays under ~1.91 us "
+            "(= N_max * d / W for Gen 3.0), then linear growth (Observation 2)"
+        ],
+    )
+
+
+def requirements_table() -> FigureResult:
+    """Equation 6's requirement numbers (Sections 3.4, 4.1.1, 4.2.2)."""
+    entries = [
+        ("gen4 @ d_EMOGI", paper_gen4_requirements(), 268.0, 2.87),
+        ("gen3 @ d_EMOGI", paper_gen3_requirements(), 134.0, 1.91),
+        ("gen4 @ 256 B sublists (XLFDD)", xlfdd_requirements(), 93.75, None),
+    ]
+    rows = []
+    for label, req, paper_miops, paper_usec in entries:
+        rows.append(
+            {
+                "configuration": label,
+                "min_iops_MIOPS": req.min_iops / 1e6,
+                "paper_MIOPS": paper_miops,
+                "max_latency_us": to_usec(req.max_latency),
+                "paper_us": paper_usec if paper_usec is not None else "n/a",
+            }
+        )
+    return FigureResult(
+        name="requirements",
+        description="external-memory requirements (Equation 6)",
+        rows=rows,
+        notes=[f"d_EMOGI = {EMOGI_AVG_TRANSFER_BYTES:.1f} B (Section 3.3.1)"],
+    )
+
+
+#: How to chart each artifact: x/y row keys, an optional series-grouping
+#: key, and whether the x axis is logarithmic (alignment sweeps).
+PLOT_SPECS: dict[str, dict[str, Any]] = {
+    "table2": {"x": "depth", "y": "vertices"},
+    "figure3": {
+        "x": "alignment_B",
+        "y": "raf",
+        "series_by": ("dataset", "algorithm"),
+        "log_x": True,
+    },
+    "figure4": {"x": "transfer_B", "y": "runtime_s", "log_x": True},
+    "figure5": {
+        "x": "alignment_B",
+        "y": "normalized_runtime",
+        "series_by": ("system",),
+        "log_x": True,
+    },
+    "figure10": {"x": "added_latency_us", "y": "bandwidth_MBps"},
+    "figure11": {
+        "x": "added_latency_us",
+        "y": "normalized_runtime",
+        "series_by": ("dataset", "algorithm"),
+    },
+}
+
+
+def plot_figure(result: FigureResult, *, width: int = 60, height: int = 14) -> str:
+    """Render a figure's rows as an ASCII chart (where a spec exists)."""
+    from .core.plot import ascii_chart
+    from .errors import ModelError
+
+    spec = PLOT_SPECS.get(result.name)
+    if spec is None:
+        raise ModelError(f"{result.name} has no chartable series")
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    group_keys = spec.get("series_by")
+    for row in result.rows:
+        if group_keys is None:
+            label = result.name
+        else:
+            label = "/".join(str(row[k]) for k in group_keys)
+        xs, ys = series.setdefault(label, ([], []))
+        xs.append(float(row[spec["x"]]))
+        ys.append(float(row[spec["y"]]))
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label=spec["x"],
+        y_label=spec["y"],
+        log_x=bool(spec.get("log_x", False)),
+        title=f"{result.name}: {result.description}",
+    )
+
+
+ALL_FIGURES = {
+    "table1": table1,
+    "table2": table2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "requirements": requirements_table,
+}
+
+
+def reproduce(name: str, **kwargs) -> FigureResult:
+    """Regenerate one artifact by name (``"figure11"``, ``"table1"``...)."""
+    from .errors import ModelError
+
+    key = name.lower()
+    if key not in ALL_FIGURES:
+        raise ModelError(
+            f"unknown figure {name!r}; available: {sorted(ALL_FIGURES)}"
+        )
+    return ALL_FIGURES[key](**kwargs)

@@ -1,0 +1,92 @@
+"""GPU warp/occupancy model (Section 3.5.2).
+
+The GPU's contribution to the concurrency budget: how many warps can be
+resident given a kernel's register footprint.  The paper's RTX A5000
+supports 3,072 warps; its BFS kernel achieves 2,048 — "still larger than
+N_max", which is why the GPU never limits outstanding reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPU_THREADS_PER_WARP
+from ..errors import ConfigError
+
+__all__ = ["GPUSpec", "KernelResources", "RTX_A5000", "active_warps"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Occupancy-relevant hardware parameters of a GPU."""
+
+    name: str
+    num_sms: int
+    max_warps_per_sm: int
+    registers_per_sm: int
+    shared_memory_per_sm: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.num_sms,
+            self.max_warps_per_sm,
+            self.registers_per_sm,
+            self.shared_memory_per_sm,
+        ) < 1:
+            raise ConfigError(f"{self.name}: all GPU parameters must be >= 1")
+
+    @property
+    def total_warps(self) -> int:
+        """Architectural warp capacity (the paper's 3,072)."""
+        return self.num_sms * self.max_warps_per_sm
+
+
+#: The evaluation GPU (Tables 3 and 4): GA102, 64 SMs x 48 warps = 3,072.
+RTX_A5000 = GPUSpec(
+    name="RTX A5000",
+    num_sms=64,
+    max_warps_per_sm=48,
+    registers_per_sm=65_536,
+    shared_memory_per_sm=102_400,
+)
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-thread/per-block resource footprint of a kernel.
+
+    The paper's BFS kernel lands at 2,048 active warps on the A5000,
+    which corresponds to a 64-registers-per-thread footprint.
+    """
+
+    registers_per_thread: int = 64
+    shared_memory_per_block: int = 0
+    warps_per_block: int = 4
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread < 1 or self.warps_per_block < 1:
+            raise ConfigError("kernel resources must be >= 1")
+        if self.shared_memory_per_block < 0:
+            raise ConfigError("shared memory must be >= 0")
+
+
+def active_warps(gpu: GPUSpec = RTX_A5000, kernel: KernelResources = KernelResources()) -> int:
+    """Resident warps for ``kernel`` on ``gpu`` (standard occupancy math).
+
+    Per SM, the warp count is limited by the architectural maximum, the
+    register file, and shared memory; the result is rounded down to whole
+    blocks, then scaled by the SM count.
+    """
+    regs_per_warp = kernel.registers_per_thread * GPU_THREADS_PER_WARP
+    reg_limited = gpu.registers_per_sm // regs_per_warp
+    if kernel.shared_memory_per_block > 0:
+        blocks_by_smem = gpu.shared_memory_per_sm // kernel.shared_memory_per_block
+        smem_limited = blocks_by_smem * kernel.warps_per_block
+    else:
+        smem_limited = gpu.max_warps_per_sm
+    warps_per_sm = min(gpu.max_warps_per_sm, reg_limited, smem_limited)
+    # Whole blocks only.
+    warps_per_sm = (warps_per_sm // kernel.warps_per_block) * kernel.warps_per_block
+    if warps_per_sm < 1:
+        raise ConfigError("kernel footprint leaves no resident warps")
+    return warps_per_sm * gpu.num_sms

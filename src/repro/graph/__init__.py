@@ -1,0 +1,67 @@
+"""Graph substrate: CSR storage, generators, datasets, IO, statistics.
+
+The paper stores graphs in compressed sparse row (CSR) format with the
+vertex list in GPU memory and the 8-byte-per-ID edge list on external
+memory (Section 2.1).  This subpackage provides that representation plus
+the synthetic generators standing in for the paper's datasets (Table 1).
+"""
+
+from .csr import CSRGraph
+from .builder import build_csr, symmetrize_edges, dedupe_edges
+from .generators import (
+    uniform_random_graph,
+    kronecker_graph,
+    chung_lu_graph,
+    path_graph,
+    star_graph,
+    complete_graph,
+    grid_graph,
+)
+from .datasets import DATASETS, DatasetSpec, load_dataset, paper_table1
+from .stats import GraphStats, graph_stats, table1_row
+from .io import save_graph, load_graph, parse_edge_list, format_edge_list
+from .partition import StripedLayout, stripe_layout
+from .formats import PaddedLayout, padded_layout, padded_trace, padding_tradeoff
+from .reorder import (
+    degree_sort_order,
+    bfs_order,
+    random_order,
+    apply_order,
+    relabel_gain,
+)
+
+__all__ = [
+    "CSRGraph",
+    "build_csr",
+    "symmetrize_edges",
+    "dedupe_edges",
+    "uniform_random_graph",
+    "kronecker_graph",
+    "chung_lu_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "paper_table1",
+    "GraphStats",
+    "graph_stats",
+    "table1_row",
+    "save_graph",
+    "load_graph",
+    "parse_edge_list",
+    "format_edge_list",
+    "StripedLayout",
+    "stripe_layout",
+    "degree_sort_order",
+    "bfs_order",
+    "random_order",
+    "apply_order",
+    "relabel_gain",
+    "PaddedLayout",
+    "padded_layout",
+    "padded_trace",
+    "padding_tradeoff",
+]

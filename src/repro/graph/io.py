@@ -1,0 +1,120 @@
+"""Graph persistence: binary ``.npz`` snapshots and text edge lists.
+
+The binary format stores the CSR arrays directly, so loading a saved graph
+is a zero-parse operation — the same motivation as the paper's Section 2.2
+point that graph data may live on (non-volatile) external memory from the
+start, with no loading phase.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builder import build_csr
+from .csr import CSRGraph
+
+__all__ = ["save_graph", "load_graph", "parse_edge_list", "format_edge_list"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Serialise ``graph`` to a compressed ``.npz`` file."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "name": np.array([graph.name]),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_graph` (validates on load)."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise GraphFormatError(
+                    f"unsupported graph file version {version} in {path}"
+                )
+            indptr = data["indptr"]
+            indices = data["indices"]
+            name = str(data["name"][0])
+            weights = data["weights"] if "weights" in data.files else None
+        except KeyError as exc:
+            raise GraphFormatError(f"{path} is not a repro graph file: {exc}") from exc
+    return CSRGraph(indptr, indices, weights, name=name)
+
+
+def parse_edge_list(
+    text: str,
+    *,
+    num_vertices: int | None = None,
+    comment: str = "#",
+    symmetrize: bool = False,
+    name: str = "edgelist",
+) -> CSRGraph:
+    """Parse a whitespace-separated edge-list string into a graph.
+
+    Each non-comment line is ``src dst [weight]``.  Lines mixing weighted
+    and unweighted entries are rejected.
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    saw_weight: bool | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(comment):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphFormatError(
+                f"line {lineno}: expected 'src dst [weight]', got {raw!r}"
+            )
+        try:
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: bad vertex ID in {raw!r}") from exc
+        has_weight = len(parts) == 3
+        if saw_weight is None:
+            saw_weight = has_weight
+        elif saw_weight != has_weight:
+            raise GraphFormatError(
+                f"line {lineno}: mixed weighted/unweighted edge list"
+            )
+        if has_weight:
+            try:
+                weights.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: bad weight in {raw!r}") from exc
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64) if saw_weight else None
+    return build_csr(
+        src, dst, num_vertices=num_vertices, weights=w, symmetrize=symmetrize, name=name
+    )
+
+
+def format_edge_list(graph: CSRGraph) -> str:
+    """Render ``graph`` as an edge-list string (inverse of
+    :func:`parse_edge_list` up to edge ordering)."""
+    lines = [f"# {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges"]
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees)
+    if graph.weights is not None:
+        for s, d, w in zip(src, graph.indices, graph.weights):
+            lines.append(f"{s} {d} {w:g}")
+    else:
+        for s, d in zip(src, graph.indices):
+            lines.append(f"{s} {d}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,129 @@
+"""PCIe link model: effective bandwidth and outstanding-read limits.
+
+Section 3.2 uses two link parameters: the effective bandwidth ``W`` (the
+paper uses 24,000 MB/s for Gen 4.0 x16 "rather than the theoretical value
+of 31,500 MB/s") and the maximum number of outstanding read requests
+``N_max`` from the PCIe specification (256 for Gen 3.0, 768 for Gen 4.0
+and 5.0 — Section 3.5).  Bandwidth scales with lane count; the tag limit
+does not (it is a protocol property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import MB_PER_S
+
+__all__ = ["PCIeGeneration", "PCIeLink", "PCIE_GEN3", "PCIE_GEN4", "PCIE_GEN5"]
+
+
+@dataclass(frozen=True)
+class PCIeGeneration:
+    """Per-generation constants at x16 width.
+
+    ``effective_x16_bandwidth`` is the paper's ``W`` (what data transfers
+    actually achieve after protocol overheads); ``theoretical_x16_bandwidth``
+    the raw signalling rate.
+    """
+
+    name: str
+    theoretical_x16_bandwidth: float
+    effective_x16_bandwidth: float
+    max_outstanding_reads: int
+
+    def __post_init__(self) -> None:
+        if self.effective_x16_bandwidth > self.theoretical_x16_bandwidth:
+            raise ConfigError(
+                f"{self.name}: effective bandwidth cannot exceed theoretical"
+            )
+        if self.max_outstanding_reads < 1:
+            raise ConfigError(f"{self.name}: max_outstanding_reads must be >= 1")
+
+
+#: PCIe Gen 3.0: 256 outstanding reads (Section 3.5), ~12,000 MB/s effective
+#: at x16 (half of Gen 4.0, as used in Section 4.2.2).
+PCIE_GEN3 = PCIeGeneration(
+    name="gen3",
+    theoretical_x16_bandwidth=15_750 * MB_PER_S,
+    effective_x16_bandwidth=12_000 * MB_PER_S,
+    max_outstanding_reads=256,
+)
+
+#: PCIe Gen 4.0: W = 24,000 MB/s effective, N_max = 768 (Section 3.2).
+PCIE_GEN4 = PCIeGeneration(
+    name="gen4",
+    theoretical_x16_bandwidth=31_500 * MB_PER_S,
+    effective_x16_bandwidth=24_000 * MB_PER_S,
+    max_outstanding_reads=768,
+)
+
+#: PCIe Gen 5.0: doubles Gen 4.0 bandwidth, same 768 tag limit (Section 3.5).
+PCIE_GEN5 = PCIeGeneration(
+    name="gen5",
+    theoretical_x16_bandwidth=63_000 * MB_PER_S,
+    effective_x16_bandwidth=48_000 * MB_PER_S,
+    max_outstanding_reads=768,
+)
+
+_GENERATIONS = {g.name: g for g in (PCIE_GEN3, PCIE_GEN4, PCIE_GEN5)}
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A PCIe link of a given generation and lane count.
+
+    The GPU links in the paper are x16; x4 links (each XLFDD / NVMe drive)
+    matter only for per-device bandwidth caps.
+    """
+
+    generation: PCIeGeneration
+    lanes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ConfigError(f"invalid lane count {self.lanes}")
+
+    @classmethod
+    def from_name(cls, name: str, lanes: int = 16) -> "PCIeLink":
+        """Build a link from a generation name: ``"gen3" | "gen4" | "gen5"``."""
+        try:
+            generation = _GENERATIONS[name.lower()]
+        except KeyError:
+            raise ConfigError(
+                f"unknown PCIe generation {name!r}; expected {sorted(_GENERATIONS)}"
+            ) from None
+        return cls(generation=generation, lanes=lanes)
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """The paper's ``W`` in bytes/s, scaled by lane count."""
+        return self.generation.effective_x16_bandwidth * self.lanes / 16
+
+    @property
+    def theoretical_bandwidth(self) -> float:
+        """Raw signalling bandwidth in bytes/s, scaled by lane count."""
+        return self.generation.theoretical_x16_bandwidth * self.lanes / 16
+
+    @property
+    def max_outstanding_reads(self) -> int:
+        """The paper's ``N_max`` (tag limit; lane-count independent)."""
+        return self.generation.max_outstanding_reads
+
+    def little_throughput(self, transfer_bytes: float, latency: float) -> float:
+        """Little's-law throughput cap ``N_max * d / L`` (Equation 3).
+
+        The maximum data rate achievable when every outstanding-read slot
+        holds a ``transfer_bytes`` request with round-trip ``latency``.
+        """
+        if latency <= 0:
+            raise ConfigError(f"latency must be positive, got {latency}")
+        return self.max_outstanding_reads * transfer_bytes / latency
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"PCIe {self.generation.name} x{self.lanes}: "
+            f"W={self.effective_bandwidth / MB_PER_S:,.0f} MB/s, "
+            f"N_max={self.max_outstanding_reads}"
+        )

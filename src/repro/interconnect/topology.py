@@ -1,0 +1,101 @@
+"""System topology: sockets, device attachment, and path latency.
+
+Models Figure 8's dual-socket rig: the GPU hangs off CPU 1; host DRAM and
+CXL devices hang off either socket.  Crossing the inter-socket link (UPI)
+adds a small latency — the difference between the solid and hollow bars of
+Figure 9 (DRAM 0 vs DRAM 1, CXL 0 vs CXL 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CROSS_SOCKET_LATENCY, HOST_DRAM_GPU_LATENCY
+from ..errors import ConfigError
+
+__all__ = ["DeviceAttachment", "SystemTopology", "paper_topology"]
+
+
+@dataclass(frozen=True)
+class DeviceAttachment:
+    """Where a device plugs in: which socket, and its label."""
+
+    name: str
+    socket: int
+
+    def __post_init__(self) -> None:
+        if self.socket < 0:
+            raise ConfigError(f"socket must be >= 0, got {self.socket}")
+
+
+@dataclass
+class SystemTopology:
+    """Sockets, the GPU's socket, and attached devices.
+
+    ``base_gpu_latency`` is the GPU-to-host-DRAM round trip on the GPU's
+    own socket (the paper's ~1.2 us, Figure 9); ``cross_socket_latency``
+    the UPI hop penalty per crossing.
+    """
+
+    num_sockets: int = 2
+    gpu_socket: int = 1
+    base_gpu_latency: float = HOST_DRAM_GPU_LATENCY
+    cross_socket_latency: float = CROSS_SOCKET_LATENCY
+    devices: dict[str, DeviceAttachment] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_sockets < 1:
+            raise ConfigError(f"need >= 1 socket, got {self.num_sockets}")
+        if not 0 <= self.gpu_socket < self.num_sockets:
+            raise ConfigError(
+                f"gpu_socket {self.gpu_socket} out of range [0, {self.num_sockets})"
+            )
+        if self.base_gpu_latency <= 0 or self.cross_socket_latency < 0:
+            raise ConfigError("latencies must be positive (cross-socket >= 0)")
+
+    def attach(self, name: str, socket: int) -> DeviceAttachment:
+        """Register a device on a socket; returns the attachment record."""
+        if not 0 <= socket < self.num_sockets:
+            raise ConfigError(f"socket {socket} out of range [0, {self.num_sockets})")
+        if name in self.devices:
+            raise ConfigError(f"device {name!r} already attached")
+        attachment = DeviceAttachment(name=name, socket=socket)
+        self.devices[name] = attachment
+        return attachment
+
+    def socket_hops(self, name: str) -> int:
+        """Inter-socket link crossings between the GPU and device ``name``."""
+        try:
+            attachment = self.devices[name]
+        except KeyError:
+            raise ConfigError(f"unknown device {name!r}") from None
+        return 0 if attachment.socket == self.gpu_socket else 1
+
+    def path_latency(self, name: str, device_added_latency: float = 0.0) -> float:
+        """GPU-observed round-trip latency to device ``name`` (Figure 9).
+
+        ``base_gpu_latency`` (PCIe + CPU path) + cross-socket penalty +
+        whatever extra the device itself adds (e.g. CXL base latency plus
+        the latency bridge setting).
+        """
+        if device_added_latency < 0:
+            raise ConfigError("device_added_latency must be >= 0")
+        return (
+            self.base_gpu_latency
+            + self.socket_hops(name) * self.cross_socket_latency
+            + device_added_latency
+        )
+
+
+def paper_topology() -> SystemTopology:
+    """Figure 8's configuration: DRAM 0/1 and CXL 0..4, GPU on socket 1.
+
+    CXL 3 shares the GPU's socket (the solid bar of Figure 9); CXL 0-2 and
+    4 sit across the UPI link, as does DRAM 0.
+    """
+    topology = SystemTopology(num_sockets=2, gpu_socket=1)
+    topology.attach("dram0", socket=0)
+    topology.attach("dram1", socket=1)
+    for i in range(5):
+        topology.attach(f"cxl{i}", socket=1 if i == 3 else 0)
+    return topology

@@ -1,0 +1,73 @@
+"""Memory-system simulation: alignment, caches, read amplification.
+
+This subpackage turns *logical* edge-sublist reads (from
+:mod:`repro.traversal`) into *physical* external-memory traffic under a
+given address alignment size and cache model — the machinery behind the
+paper's read-amplification study (Section 3.1, Figure 3) and the
+transfer-size distributions of Section 3.3.
+"""
+
+from .alignment import (
+    align_down,
+    align_up,
+    aligned_span,
+    blocks_per_request,
+    expand_to_blocks,
+    split_by_max_transfer,
+)
+from .cache import (
+    CacheModel,
+    CacheStats,
+    NoCache,
+    StepLocalCache,
+    IdealCache,
+    LRUCache,
+    make_cache,
+)
+from .raf import RAFResult, read_amplification, raf_curve, direct_access_amplification
+from .coalesce import (
+    CoalesceResult,
+    coalesce_step,
+    coalesce_trace,
+    transfer_size_distribution,
+)
+from .working_set import reuse_distances, step_working_sets, working_set_summary
+from .writes import (
+    writeback_trace,
+    WriteTraffic,
+    cxl_write_traffic,
+    gc_write_amplification,
+    flash_write_traffic,
+)
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "aligned_span",
+    "blocks_per_request",
+    "expand_to_blocks",
+    "split_by_max_transfer",
+    "CacheModel",
+    "CacheStats",
+    "NoCache",
+    "StepLocalCache",
+    "IdealCache",
+    "LRUCache",
+    "make_cache",
+    "RAFResult",
+    "read_amplification",
+    "raf_curve",
+    "direct_access_amplification",
+    "CoalesceResult",
+    "coalesce_step",
+    "coalesce_trace",
+    "transfer_size_distribution",
+    "reuse_distances",
+    "step_working_sets",
+    "working_set_summary",
+    "writeback_trace",
+    "WriteTraffic",
+    "cxl_write_traffic",
+    "gc_write_amplification",
+    "flash_write_traffic",
+]

@@ -1,0 +1,216 @@
+"""Software cache models over alignment-sized blocks.
+
+The paper computes read amplification with "a CPU simulation implementing
+a software cache" (Section 3.1) — BaM likewise keeps a software cache in
+GPU memory (Section 3.3.2), while the XLFDD path runs cache-less (Section
+4.1.1).  Three models cover those cases:
+
+* :class:`NoCache` — every block reference is a miss (XLFDD direct access);
+* :class:`StepLocalCache` — blocks are shared within one traversal step but
+  evicted before the next (Figure 2's narrative: "Sublist 2 is likely to be
+  on the GPU cache ... may be evicted from the cache before it is referenced
+  later"); the default for RAF computation;
+* :class:`IdealCache` — infinite capacity, only cold misses (upper bound);
+* :class:`LRUCache` — exact fully-associative LRU with finite capacity
+  (the BaM-style software cache).
+
+All models consume a *reference stream* of block IDs (see
+:func:`repro.memsim.alignment.expand_to_blocks`) and report hit/miss
+statistics; misses are what external memory must serve.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = [
+    "CacheStats",
+    "CacheModel",
+    "NoCache",
+    "StepLocalCache",
+    "IdealCache",
+    "LRUCache",
+    "make_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters for a cache model."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def references(self) -> int:
+        """Total block references seen."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / references (0.0 when nothing was referenced)."""
+        return self.hits / self.references if self.references else 0.0
+
+
+class CacheModel(ABC):
+    """Interface: feed block-ID reference streams, count misses."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def access(self, block_ids: np.ndarray) -> int:
+        """Process references in order; return the number of misses."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Drop all cached state and zero the statistics."""
+
+    def clone_empty(self) -> "CacheModel":
+        """A fresh cache of the same configuration (for sweep reuse)."""
+        fresh = type(self).__new__(type(self))
+        fresh.__dict__.update(self.__dict__)
+        fresh.reset()
+        return fresh
+
+
+class NoCache(CacheModel):
+    """Every reference misses: models direct device access without caching."""
+
+    def access(self, block_ids: np.ndarray) -> int:
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        self.stats.misses += block_ids.size
+        return block_ids.size
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+
+
+class StepLocalCache(CacheModel):
+    """Within-batch sharing only: one miss per distinct block per ``access``.
+
+    Callers feed one traversal step per :meth:`access` call, so blocks are
+    deduplicated within a step (massively parallel requests of the same
+    step hit each other's fetches) but nothing survives to the next step.
+    This is the paper's software-cache behaviour in the regime it reports —
+    per-step working sets far exceed realistic cache capacities, so
+    cross-step reuse is lost to eviction.  Fully vectorized.
+    """
+
+    def access(self, block_ids: np.ndarray) -> int:
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        misses = int(np.unique(block_ids).size)
+        self.stats.misses += misses
+        self.stats.hits += block_ids.size - misses
+        return misses
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+
+
+class IdealCache(CacheModel):
+    """Infinite cache: each distinct block misses exactly once."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: set[int] = set()
+
+    def access(self, block_ids: np.ndarray) -> int:
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return 0
+        # First occurrence within this batch, then filter already-seen.
+        unique, first_pos = np.unique(block_ids, return_index=True)
+        if self._seen:
+            new_mask = np.fromiter(
+                (int(b) not in self._seen for b in unique),
+                dtype=bool,
+                count=unique.size,
+            )
+            new_blocks = unique[new_mask]
+        else:
+            new_blocks = unique
+        self._seen.update(int(b) for b in new_blocks)
+        misses = int(new_blocks.size)
+        self.stats.misses += misses
+        self.stats.hits += block_ids.size - misses
+        return misses
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        self._seen = set()
+
+
+class LRUCache(CacheModel):
+    """Exact fully-associative LRU over ``capacity_blocks`` blocks.
+
+    Implemented with a dict (insertion-ordered in CPython) used as an LRU
+    list: hits are re-inserted at the back, evictions pop from the front.
+    Exactness matters here — the paper validates its RAF simulation against
+    BaM's hardware measurements, so approximate caches would undermine the
+    Figure 3 reproduction.
+    """
+
+    def __init__(self, capacity_blocks: int) -> None:
+        super().__init__()
+        if capacity_blocks < 1:
+            raise ModelError(f"cache capacity must be >= 1 block, got {capacity_blocks}")
+        self.capacity_blocks = int(capacity_blocks)
+        self._lru: dict[int, None] = {}
+
+    def access(self, block_ids: np.ndarray) -> int:
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        lru = self._lru
+        capacity = self.capacity_blocks
+        misses = 0
+        for block in block_ids.tolist():
+            if block in lru:
+                # Move to MRU position.
+                del lru[block]
+                lru[block] = None
+                self.stats.hits += 1
+            else:
+                misses += 1
+                if len(lru) >= capacity:
+                    lru.pop(next(iter(lru)))
+                lru[block] = None
+        self.stats.misses += misses
+        return misses
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        self._lru = {}
+
+    @property
+    def occupancy(self) -> int:
+        """Blocks currently resident."""
+        return len(self._lru)
+
+
+def make_cache(
+    kind: str, *, capacity_bytes: int | None = None, block_bytes: int | None = None
+) -> CacheModel:
+    """Factory: ``"none"``, ``"step"``, ``"ideal"``, or ``"lru"``.
+
+    LRU requires ``capacity_bytes`` and ``block_bytes``; capacity is
+    rounded down to whole blocks (minimum one).
+    """
+    kind = kind.lower()
+    if kind == "none":
+        return NoCache()
+    if kind == "step":
+        return StepLocalCache()
+    if kind == "ideal":
+        return IdealCache()
+    if kind == "lru":
+        if capacity_bytes is None or block_bytes is None:
+            raise ModelError("lru cache requires capacity_bytes and block_bytes")
+        if block_bytes < 1:
+            raise ModelError(f"block_bytes must be >= 1, got {block_bytes}")
+        return LRUCache(max(1, capacity_bytes // block_bytes))
+    raise ModelError(f"unknown cache kind {kind!r} (expected none/ideal/lru)")

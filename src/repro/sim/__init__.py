@@ -1,0 +1,63 @@
+"""Performance simulation: discrete-event and fluid models.
+
+Two complementary engines price the physical request streams produced by
+:mod:`repro.memsim`:
+
+* :mod:`repro.sim.des` — a first-principles discrete-event simulation of
+  requests flowing through warp slots, PCIe tags, device queues and the
+  shared link; exact but per-request, so used at microbenchmark scale and
+  to validate the fluid model.
+* :mod:`repro.sim.fluid` — the closed-form step-time model derived from
+  the paper's Equation 2 plus Little's law; used to price full traversals.
+
+:mod:`repro.sim.pointer_chase` reproduces Appendix B's latency
+microbenchmark on the DES.
+"""
+
+from .events import EventQueue, Simulator
+from .resources import FifoServer, Semaphore, RateServer
+from .littles_law import (
+    concurrency_for,
+    latency_for,
+    throughput_cap,
+    little_throughput_profile,
+)
+from .fluid import FluidParams, StepInput, StepTiming, TraceTiming, step_time, trace_time
+from .des import DESConfig, DESResult, simulate_step, simulate_trace
+from .pointer_chase import PointerChaseResult, pointer_chase_latency
+from .calibration import (
+    CalibrationResult,
+    calibrate_throughput_profile,
+    fit_base_latency,
+    fit_channel_bandwidth,
+    fit_outstanding_limit,
+)
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "FifoServer",
+    "Semaphore",
+    "RateServer",
+    "concurrency_for",
+    "latency_for",
+    "throughput_cap",
+    "little_throughput_profile",
+    "FluidParams",
+    "StepInput",
+    "StepTiming",
+    "TraceTiming",
+    "step_time",
+    "trace_time",
+    "DESConfig",
+    "DESResult",
+    "simulate_step",
+    "simulate_trace",
+    "PointerChaseResult",
+    "pointer_chase_latency",
+    "CalibrationResult",
+    "calibrate_throughput_profile",
+    "fit_base_latency",
+    "fit_channel_bandwidth",
+    "fit_outstanding_limit",
+]

@@ -1,0 +1,230 @@
+"""Discrete-event simulation of GPU-initiated external-memory reads.
+
+First-principles counterpart of the fluid model: every request is an
+entity that acquires a warp slot, a PCIe tag (memory devices only), and a
+device queue slot; is admitted by the device at its IOPS rate and squeezed
+through its internal bandwidth; waits out the access latency; and finally
+moves its data across the shared PCIe link.  Completion of the last
+request ends the step.
+
+The DES exists to *validate* the fluid model (they must agree within a
+small tolerance — property-tested) and to run serialized microbenchmarks
+like Appendix B's pointer chase where a fluid model has nothing to say.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GPU_ACTIVE_WARPS_BFS, KERNEL_STEP_OVERHEAD
+from ..errors import SimulationError
+from .events import Simulator
+from .fluid import FluidParams
+from .resources import FifoServer, RateServer, Semaphore
+
+__all__ = ["DESConfig", "DESResult", "simulate_step", "simulate_trace"]
+
+
+@dataclass(frozen=True)
+class DESConfig:
+    """Resources of the simulated system (mirror of :class:`FluidParams`).
+
+    Per-device quantities are per *member* device; ``num_devices`` scales
+    them.  ``latency`` is the GPU-observed round-trip minus the explicit
+    queueing the DES itself models.
+    """
+
+    link_bandwidth: float
+    latency: float
+    device_iops: float
+    device_internal_bandwidth: float
+    num_devices: int = 1
+    link_outstanding: int | None = None
+    device_outstanding: int | None = None
+    gpu_concurrency: int = GPU_ACTIVE_WARPS_BFS
+    step_overhead: float = KERNEL_STEP_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if (
+            self.link_bandwidth <= 0
+            or self.latency <= 0
+            or self.device_iops <= 0
+            or self.device_internal_bandwidth <= 0
+        ):
+            raise SimulationError("bandwidths, IOPS and latency must be positive")
+        if self.num_devices < 1 or self.gpu_concurrency < 1:
+            raise SimulationError("num_devices and gpu_concurrency must be >= 1")
+
+    @classmethod
+    def from_fluid(cls, params: FluidParams, num_devices: int = 1) -> "DESConfig":
+        """Build a DES config equivalent to a fluid parameter set."""
+        per_dev_outstanding = (
+            None
+            if params.device_outstanding is None
+            else max(1, params.device_outstanding // num_devices)
+        )
+        return cls(
+            link_bandwidth=params.link_bandwidth,
+            latency=params.latency,
+            device_iops=params.device_iops / num_devices,
+            device_internal_bandwidth=params.device_internal_bandwidth / num_devices,
+            num_devices=num_devices,
+            link_outstanding=params.link_outstanding,
+            device_outstanding=per_dev_outstanding,
+            gpu_concurrency=params.gpu_concurrency,
+            step_overhead=params.step_overhead,
+        )
+
+
+@dataclass
+class DESResult:
+    """Outcome of one simulated step (or trace)."""
+
+    time: float
+    requests: int
+    link_busy_time: float
+    max_link_tags: int
+    max_warps: int
+    completion_times: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def link_utilization(self) -> float:
+        """Fraction of the step the link's data path was busy."""
+        return self.link_busy_time / self.time if self.time > 0 else 0.0
+
+
+def simulate_step(
+    sizes: np.ndarray,
+    config: DESConfig,
+    devices: np.ndarray | None = None,
+    *,
+    include_overhead: bool = False,
+    max_events: int | None = None,
+) -> DESResult:
+    """Simulate one step: all ``sizes`` requests ready at time zero.
+
+    ``devices`` maps each request to a device index (round-robin by
+    default).  Returns the completion time of the last request.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    sizes = sizes[sizes > 0]
+    n = sizes.size
+    if n == 0:
+        return DESResult(
+            time=config.step_overhead if include_overhead else 0.0,
+            requests=0,
+            link_busy_time=0.0,
+            max_link_tags=0,
+            max_warps=0,
+            completion_times=np.empty(0),
+        )
+    if devices is None:
+        devices = np.arange(n, dtype=np.int64) % config.num_devices
+    else:
+        devices = np.asarray(devices, dtype=np.int64)
+        if devices.shape != sizes.shape:
+            raise SimulationError("devices must match sizes in shape")
+        if devices.min() < 0 or devices.max() >= config.num_devices:
+            raise SimulationError("device index out of range")
+
+    sim = Simulator()
+    warps = Semaphore(sim, config.gpu_concurrency, "warps")
+    link_tags = Semaphore(sim, config.link_outstanding, "link-tags")
+    device_tags = [
+        Semaphore(sim, config.device_outstanding, f"dev{i}-tags")
+        for i in range(config.num_devices)
+    ]
+    device_ops = [
+        RateServer(sim, config.device_iops, f"dev{i}-ops")
+        for i in range(config.num_devices)
+    ]
+    device_bw = [
+        FifoServer(sim, f"dev{i}-bw") for i in range(config.num_devices)
+    ]
+    link = FifoServer(sim, "link-data")
+    completion = np.zeros(n)
+
+    def start_request(i: int) -> None:
+        size = int(sizes[i])
+        dev = int(devices[i])
+
+        def with_warp() -> None:
+            link_tags.acquire(with_link_tag)
+
+        def with_link_tag() -> None:
+            device_tags[dev].acquire(with_device_tag)
+
+        def with_device_tag() -> None:
+            # Admission at the device's op rate...
+            device_ops[dev].submit_op(after_admission)
+
+        def after_admission() -> None:
+            # ...then the data crosses the device's internal channel...
+            device_bw[dev].submit(size / config.device_internal_bandwidth, after_media)
+
+        def after_media() -> None:
+            # ...the access latency elapses (pipelined across requests)...
+            sim.schedule(config.latency, after_latency)
+
+        def after_latency() -> None:
+            # ...and the response data serialises onto the shared link.
+            link.submit(size / config.link_bandwidth, lambda: finish(i, dev))
+
+        warps.acquire(with_warp)
+
+    def finish(i: int, dev: int) -> None:
+        completion[i] = sim.now
+        device_tags[dev].release()
+        link_tags.release()
+        warps.release()
+
+    for i in range(n):
+        start_request(i)
+    end = sim.run(max_events=max_events)
+    return DESResult(
+        time=end + (config.step_overhead if include_overhead else 0.0),
+        requests=n,
+        link_busy_time=link.busy_time,
+        max_link_tags=link_tags.max_in_use,
+        max_warps=warps.max_in_use,
+        completion_times=completion,
+    )
+
+
+def simulate_trace(
+    step_sizes: list[np.ndarray],
+    config: DESConfig,
+    *,
+    max_events: int | None = None,
+) -> DESResult:
+    """Simulate consecutive steps with a barrier between them.
+
+    Per-step request-size arrays in, total runtime out (each step pays the
+    kernel overhead, as in the fluid model).
+    """
+    if not step_sizes:
+        raise SimulationError("simulate_trace needs at least one step")
+    total = 0.0
+    busy = 0.0
+    requests = 0
+    max_tags = 0
+    max_warps = 0
+    for sizes in step_sizes:
+        result = simulate_step(
+            sizes, config, include_overhead=True, max_events=max_events
+        )
+        total += result.time
+        busy += result.link_busy_time
+        requests += result.requests
+        max_tags = max(max_tags, result.max_link_tags)
+        max_warps = max(max_warps, result.max_warps)
+    return DESResult(
+        time=total,
+        requests=requests,
+        link_busy_time=busy,
+        max_link_tags=max_tags,
+        max_warps=max_warps,
+        completion_times=np.empty(0),
+    )

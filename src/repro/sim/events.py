@@ -1,0 +1,87 @@
+"""Minimal discrete-event kernel: a time-ordered event queue.
+
+Deliberately tiny: a heap of ``(time, sequence, callback)`` with FIFO
+tie-breaking, wrapped in a :class:`Simulator` that advances virtual time.
+Everything stateful (queues, servers, tag pools) lives in
+:mod:`repro.sim.resources` on top of this kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["EventQueue", "Simulator"]
+
+
+class EventQueue:
+    """Heap-ordered event queue with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time``."""
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def pop(self) -> tuple[float, Callable[[], None]]:
+        """Remove and return the earliest ``(time, callback)``."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Virtual clock driving an :class:`EventQueue` to exhaustion."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events = EventQueue()
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.events.push(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self.events.push(time, callback)
+
+    def run(self, max_events: int | None = None) -> float:
+        """Process events until the queue drains; returns the final time.
+
+        ``max_events`` guards against runaway simulations (exceeding it
+        raises :class:`SimulationError` rather than looping forever).
+        """
+        while self.events:
+            time, callback = self.events.pop()
+            if time < self.now:
+                raise SimulationError("event time moved backwards")
+            self.now = time
+            callback()
+            self._processed += 1
+            if max_events is not None and self._processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway sim?")
+        return self.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed

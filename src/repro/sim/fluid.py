@@ -1,0 +1,179 @@
+"""Fluid (closed-form) step-time model.
+
+Generalises the paper's runtime equation ``t = D / T`` with
+``T = min{S d, N_max d / L, W}`` (Equations 1-2) to per-step granularity:
+each traversal step's duration is the largest of its independent
+bottleneck terms, because within a step requests are issued with full
+parallelism and the slowest resource gates completion:
+
+* link bandwidth: ``bytes / W``;
+* device op rate:  ``ops / S``;
+* device internal bandwidth: ``device_bytes / B_internal``;
+* latency under bounded concurrency (Little's law): ``L + (R-1) L / C``
+  with ``C`` the smallest of the concurrency limits (PCIe tags for memory
+  access, device tags/queue depth, active GPU warps);
+
+plus a fixed per-step overhead (kernel launch, frontier bookkeeping) that
+makes small frontiers cheap-but-not-free (Section 3.5.1).
+
+Summing step durations yields the graph processing time of Section 2.2.
+The discrete-event simulator (:mod:`repro.sim.des`) reproduces these
+numbers from first principles; property tests assert agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import GPU_ACTIVE_WARPS_BFS, KERNEL_STEP_OVERHEAD
+from ..errors import ModelError
+
+__all__ = ["FluidParams", "StepInput", "StepTiming", "TraceTiming", "step_time", "trace_time"]
+
+
+@dataclass(frozen=True)
+class StepInput:
+    """Physical traffic of one traversal step (from an access method).
+
+    ``requests``/``link_bytes`` describe GPU-side requests crossing the
+    PCIe link; ``device_ops``/``device_bytes`` the device-side view (they
+    differ when the protocol re-granularises, e.g. CXL's 64 B flits or a
+    flash device's page reads).
+    """
+
+    requests: int
+    link_bytes: int
+    device_ops: int
+    device_bytes: int
+
+    def __post_init__(self) -> None:
+        if min(self.requests, self.link_bytes, self.device_ops, self.device_bytes) < 0:
+            raise ModelError("step traffic counts must be non-negative")
+        if (self.requests == 0) != (self.link_bytes == 0):
+            raise ModelError("requests and link_bytes must be zero together")
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Resource parameters of one system configuration.
+
+    ``link_outstanding`` is PCIe's ``N_max`` and applies only to memory
+    devices — pass ``None`` for storage (Section 3.2).  ``latency`` is the
+    full GPU-observed round trip (path + device).
+    """
+
+    link_bandwidth: float
+    device_iops: float
+    device_internal_bandwidth: float
+    latency: float
+    link_outstanding: int | None = None
+    device_outstanding: int | None = None
+    gpu_concurrency: int = GPU_ACTIVE_WARPS_BFS
+    step_overhead: float = KERNEL_STEP_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if (
+            self.link_bandwidth <= 0
+            or self.device_iops <= 0
+            or self.device_internal_bandwidth <= 0
+            or self.latency <= 0
+        ):
+            raise ModelError("bandwidths, IOPS and latency must be positive")
+        for name in ("link_outstanding", "device_outstanding"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ModelError(f"{name} must be >= 1 or None")
+        if self.gpu_concurrency < 1:
+            raise ModelError("gpu_concurrency must be >= 1")
+        if self.step_overhead < 0:
+            raise ModelError("step_overhead must be >= 0")
+
+    @property
+    def concurrency(self) -> int:
+        """Effective request concurrency ``C`` (the smallest limit)."""
+        limits = [self.gpu_concurrency]
+        if self.link_outstanding is not None:
+            limits.append(self.link_outstanding)
+        if self.device_outstanding is not None:
+            limits.append(self.device_outstanding)
+        return min(limits)
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """One step's duration and which resource bound it."""
+
+    time: float
+    bound: str
+    terms: dict[str, float]
+
+
+@dataclass(frozen=True)
+class TraceTiming:
+    """A full traversal's predicted runtime with per-step breakdown."""
+
+    total_time: float
+    step_times: np.ndarray
+    step_bounds: list[str]
+
+    def bound_histogram(self) -> dict[str, int]:
+        """How many steps each resource bound."""
+        histogram: dict[str, int] = {}
+        for bound in self.step_bounds:
+            histogram[bound] = histogram.get(bound, 0) + 1
+        return histogram
+
+    def time_by_bound(self) -> dict[str, float]:
+        """Total time attributed to each binding resource."""
+        totals: dict[str, float] = {}
+        for t, bound in zip(self.step_times, self.step_bounds):
+            totals[bound] = totals.get(bound, 0.0) + float(t)
+        return totals
+
+
+def step_time(step: StepInput, params: FluidParams) -> StepTiming:
+    """Duration of one step under ``params`` (see module docstring).
+
+    The step is a pipeline: requests stream through the binding resource
+    at its rate, and the last one still pays a full access latency before
+    its data lands.  Hence ``max(rate terms) + L``: equal to the pure
+    Little's-law expression when latency binds, and a one-latency fill
+    correction (negligible for bulk steps) otherwise — the discrete-event
+    simulator exhibits exactly this tail.
+    """
+    if step.requests == 0:
+        return StepTiming(time=params.step_overhead, bound="overhead", terms={})
+    concurrency = params.concurrency
+    terms = {
+        "link-bandwidth": step.link_bytes / params.link_bandwidth,
+        "device-iops": step.device_ops / params.device_iops,
+        "device-bandwidth": step.device_bytes / params.device_internal_bandwidth,
+        # Pipeline fill (one latency) plus steady-state drain at C per L.
+        "latency": params.latency
+        + (step.requests - 1) * params.latency / concurrency,
+    }
+    bound = max(terms, key=terms.get)  # type: ignore[arg-type]
+    drain_terms = [
+        terms["link-bandwidth"],
+        terms["device-iops"],
+        terms["device-bandwidth"],
+        (step.requests - 1) * params.latency / concurrency,
+    ]
+    time = max(drain_terms) + params.latency + params.step_overhead
+    return StepTiming(time=time, bound=bound, terms=terms)
+
+
+def trace_time(steps: Sequence[StepInput], params: FluidParams) -> TraceTiming:
+    """Total predicted runtime of a traversal's physical steps."""
+    if not steps:
+        raise ModelError("trace_time needs at least one step")
+    timings = [step_time(s, params) for s in steps]
+    step_times = np.array([t.time for t in timings])
+    return TraceTiming(
+        total_time=float(step_times.sum()),
+        step_times=step_times,
+        step_bounds=[t.bound for t in timings],
+    )

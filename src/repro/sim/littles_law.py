@@ -1,0 +1,70 @@
+"""Little's-law helpers (Equation 3: ``N d = T L``).
+
+Conversions between the four linked quantities — concurrency ``N``,
+transfer size ``d``, throughput ``T``, latency ``L`` — used throughout the
+analysis and in Figure 10's derivation of the prototype's outstanding
+request count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = [
+    "throughput_cap",
+    "concurrency_for",
+    "latency_for",
+    "little_throughput_profile",
+]
+
+
+def _positive(**values: float) -> None:
+    for name, value in values.items():
+        if not value > 0:
+            raise ModelError(f"{name} must be positive, got {value}")
+
+
+def throughput_cap(outstanding: int, transfer_bytes: float, latency: float) -> float:
+    """Max throughput with ``outstanding`` in-flight requests: ``N d / L``."""
+    _positive(outstanding=outstanding, transfer_bytes=transfer_bytes, latency=latency)
+    return outstanding * transfer_bytes / latency
+
+
+def concurrency_for(
+    throughput: float, transfer_bytes: float, latency: float
+) -> float:
+    """Concurrency implied by an observed throughput: ``N = T L / d``.
+
+    This is how Figure 10 infers the Agilex prototype's 128-request limit
+    from its measured bandwidth.
+    """
+    _positive(throughput=throughput, transfer_bytes=transfer_bytes, latency=latency)
+    return throughput * latency / transfer_bytes
+
+
+def latency_for(throughput: float, transfer_bytes: float, outstanding: int) -> float:
+    """Largest latency that still sustains ``throughput``: ``L = N d / T``.
+
+    Section 4.2.2 computes the Gen 3.0 allowance this way:
+    ``256 * 89.6 / 12,000 MB/s = 1.91 us``.
+    """
+    _positive(throughput=throughput, transfer_bytes=transfer_bytes,
+              outstanding=outstanding)
+    return outstanding * transfer_bytes / throughput
+
+
+def little_throughput_profile(
+    latencies: np.ndarray,
+    outstanding: int,
+    transfer_bytes: float,
+    bandwidth_cap: float,
+) -> np.ndarray:
+    """Throughput vs latency: ``min(cap, N d / L)`` (Figure 10's shape)."""
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if latencies.size and latencies.min() <= 0:
+        raise ModelError("latencies must be positive")
+    _positive(outstanding=outstanding, transfer_bytes=transfer_bytes,
+              bandwidth_cap=bandwidth_cap)
+    return np.minimum(bandwidth_cap, outstanding * transfer_bytes / latencies)

@@ -1,0 +1,104 @@
+"""Unit constants and conversion helpers.
+
+The paper mixes several unit systems: bytes / KB / GB for sizes, MB/s for
+link bandwidth (decimal megabytes, following the PCIe literature), MIOPS for
+random-read performance, and microseconds for latency.  To keep every model
+in the package consistent we standardise on:
+
+* **bytes** for data sizes,
+* **seconds** for times,
+* **bytes/second** for throughput,
+* **operations/second** for request rates.
+
+This module provides the multipliers to get into and out of those canonical
+units, so that paper-facing numbers (``24_000 * MB_PER_S``, ``2.87 * USEC``)
+read exactly like the paper's text.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "MB_PER_S",
+    "GB_PER_S",
+    "KIOPS",
+    "MIOPS",
+    "to_mb_per_s",
+    "to_miops",
+    "to_usec",
+    "bytes_human",
+    "time_human",
+    "rate_human",
+]
+
+# -- sizes (decimal, as used for link bandwidth and drive capacities) -------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# -- sizes (binary, as used for alignments and memory capacities) -----------
+KIB = 1_024
+MIB = 1_024 ** 2
+GIB = 1_024 ** 3
+
+# -- times -------------------------------------------------------------------
+NSEC = 1e-9
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+# -- rates -------------------------------------------------------------------
+MB_PER_S = float(MB)  # bytes/second per MB/s
+GB_PER_S = float(GB)
+KIOPS = 1e3  # ops/second per thousand IOPS
+MIOPS = 1e6  # ops/second per million IOPS
+
+
+def to_mb_per_s(bytes_per_second: float) -> float:
+    """Convert a throughput in bytes/s to MB/s (decimal, paper convention)."""
+    return bytes_per_second / MB_PER_S
+
+
+def to_miops(ops_per_second: float) -> float:
+    """Convert a request rate in ops/s to MIOPS."""
+    return ops_per_second / MIOPS
+
+
+def to_usec(seconds: float) -> float:
+    """Convert a time in seconds to microseconds."""
+    return seconds / USEC
+
+
+def bytes_human(n: float) -> str:
+    """Format a byte count with a binary suffix (``1536 -> '1.5 KiB'``)."""
+    n = float(n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def time_human(seconds: float) -> str:
+    """Format a duration with an appropriate suffix (``2e-6 -> '2.00 us'``)."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.2f} s"
+    if abs(s) >= MSEC:
+        return f"{s / MSEC:.2f} ms"
+    if abs(s) >= USEC:
+        return f"{s / USEC:.2f} us"
+    return f"{s / NSEC:.0f} ns"
+
+
+def rate_human(bytes_per_second: float) -> str:
+    """Format a throughput (``24e9 -> '24000 MB/s'``)."""
+    return f"{to_mb_per_s(bytes_per_second):,.0f} MB/s"

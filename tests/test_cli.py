@@ -1,0 +1,130 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_stats(capsys):
+    code, out, _ = run_cli(capsys, "stats", "--dataset", "urand", "--scale", "10")
+    assert code == 0
+    assert "avg_degree" in out
+
+
+def test_run_emogi(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--dataset", "urand", "--scale", "10", "--system", "emogi"
+    )
+    assert code == 0
+    assert "emogi-dram" in out
+    assert "runtime_s" in out
+
+
+def test_run_cxl_with_latency(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "run", "--dataset", "urand", "--scale", "10",
+        "--system", "cxl", "--added-latency-us", "2",
+    )
+    assert code == 0
+    assert "cxl+2us" in out
+    assert "gen3" in out  # CXL defaults to the paper's Gen3 link
+
+
+def test_run_xlfdd_alignment(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "run", "--dataset", "urand", "--scale", "10",
+        "--system", "xlfdd", "--alignment", "64",
+    )
+    assert code == 0
+    assert "xlfdd-64B" in out
+
+
+def test_figure_scale_independent(capsys):
+    code, out, _ = run_cli(capsys, "figure", "figure10")
+    assert code == 0
+    assert "5,700" in out
+
+
+def test_figure_with_scale(capsys):
+    code, out, _ = run_cli(capsys, "figure", "table2", "--scale", "10")
+    assert code == 0
+    assert "depth" in out
+
+
+def test_figure_unknown_name_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "figure42"])
+
+
+def test_requirements(capsys):
+    code, out, _ = run_cli(capsys, "requirements", "--link", "gen3")
+    assert code == 0
+    assert "133.93 MIOPS" in out
+    assert "1.91 us" in out
+
+
+def test_requirements_custom_transfer(capsys):
+    code, out, _ = run_cli(
+        capsys, "requirements", "--link", "gen4", "--transfer-bytes", "256"
+    )
+    assert code == 0
+    assert "93.75 MIOPS" in out
+
+
+def test_requirements_invalid_transfer_is_clean_error(capsys):
+    code, out, err = run_cli(
+        capsys, "requirements", "--transfer-bytes", "-5"
+    )
+    assert code == 1
+    assert "error:" in err
+
+
+def test_chase_dram(capsys):
+    code, out, _ = run_cli(capsys, "chase", "--target", "dram1", "--hops", "8")
+    assert code == 0
+    assert "1.2" in out
+
+
+def test_chase_cxl_with_added_latency(capsys):
+    code, out, _ = run_cli(
+        capsys, "chase", "--target", "cxl3", "--added-latency-us", "3", "--hops", "8"
+    )
+    assert code == 0
+    assert "4.7" in out
+
+
+def test_evaluate_small_scale(capsys):
+    code, out, _ = run_cli(capsys, "evaluate", "--scale", "11", "--check")
+    assert code == 0
+    assert "Figure 6 matrix" in out
+    assert "[ok]" in out
+    assert "FAIL" not in out
+
+
+def test_figure_plot_flag(capsys):
+    code, out, _ = run_cli(capsys, "figure", "figure10", "--plot")
+    assert code == 0
+    assert "bandwidth_MBps vertical" in out
+
+
+def test_figure_output_csv(capsys, tmp_path):
+    target = tmp_path / "fig.csv"
+    code, out, _ = run_cli(
+        capsys, "figure", "figure10", "--output", str(target)
+    )
+    assert code == 0
+    assert target.exists()
+    assert target.read_text().startswith("added_latency_us")

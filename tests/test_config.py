@@ -1,0 +1,100 @@
+"""Paper calibration constants and config helpers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+
+
+def test_emogi_average_transfer_is_89_6():
+    """Section 3.3.1 computes d_EMOGI = 89.6 B from the 20/20/20/40 mix."""
+    assert config.EMOGI_AVG_TRANSFER_BYTES == pytest.approx(89.6)
+
+
+def test_emogi_distribution_sums_to_one():
+    assert sum(config.EMOGI_TRANSFER_DISTRIBUTION.values()) == pytest.approx(1.0)
+
+
+def test_gpu_geometry():
+    """Section 3.3.1: 32 B sectors, 128 B lines; line is 4 sectors."""
+    assert config.GPU_CACHE_LINE_BYTES == 128
+    assert config.GPU_SECTOR_BYTES == 32
+    assert config.GPU_CACHE_LINE_BYTES % config.GPU_SECTOR_BYTES == 0
+
+
+def test_warp_counts_match_section_3_5_2():
+    assert config.GPU_TOTAL_WARPS == 3_072
+    assert config.GPU_ACTIVE_WARPS_BFS == 2_048
+    assert config.GPU_ACTIVE_WARPS_BFS < config.GPU_TOTAL_WARPS
+
+
+def test_cxl_spec_tags():
+    """Section 3.5.3: 16 tag bits = 65,536 outstanding requests."""
+    assert config.CXL_SPEC_MAX_TAGS == 65_536
+
+
+def test_agilex_gpu_visible_is_half_of_tags():
+    """Section 4.2.2: 128-B GPU reads split into two flits -> 64 visible."""
+    assert config.AGILEX_GPU_VISIBLE_OUTSTANDING == 64
+    assert config.AGILEX_MAX_OUTSTANDING == 128
+
+
+def test_xlfdd_parameters_match_section_4_1_1():
+    assert config.XLFDD_ALIGNMENT_BYTES == 16
+    assert config.XLFDD_MAX_TRANSFER_BYTES == 2_048
+    assert config.XLFDD_IOPS_PER_DRIVE == pytest.approx(11e6)
+    assert config.XLFDD_DRIVES == 16
+
+
+def test_bam_parameters_match_section_3_3_2():
+    assert config.BAM_AGGREGATE_IOPS == pytest.approx(6e6)
+    assert config.BAM_CACHELINE_BYTES == 4_096
+    assert config.BAM_SSD_COUNT == 4
+
+
+def test_validate_positive_accepts_positive():
+    config.validate_positive(a=1.0, b=2)
+
+
+def test_validate_positive_rejects_zero_and_negative():
+    with pytest.raises(ConfigError, match="bandwidth"):
+        config.validate_positive(bandwidth=0)
+    with pytest.raises(ConfigError, match="latency"):
+        config.validate_positive(latency=-1.0)
+
+
+@dataclass(frozen=True)
+class _Inner:
+    x: int = 1
+
+
+@dataclass(frozen=True)
+class _Outer:
+    inner: _Inner
+    y: float = 2.0
+
+
+def test_dataclass_dict_roundtrip_nested():
+    outer = _Outer(inner=_Inner(x=5), y=3.5)
+    data = config.dataclass_to_dict(outer)
+    assert data == {"inner": {"x": 5}, "y": 3.5}
+    rebuilt = config.dataclass_from_dict(_Outer, data)
+    assert rebuilt == outer
+
+
+def test_dataclass_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="unknown fields"):
+        config.dataclass_from_dict(_Inner, {"x": 1, "zzz": 2})
+
+
+def test_dataclass_to_dict_rejects_non_dataclass():
+    with pytest.raises(ConfigError):
+        config.dataclass_to_dict({"not": "a dataclass"})
+
+
+def test_constants_snapshot_contains_key_numbers():
+    snap = config.constants_snapshot()
+    assert snap["emogi_avg_transfer_bytes"] == pytest.approx(89.6)
+    assert snap["cxl_flit_bytes"] == 64

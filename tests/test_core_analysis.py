@@ -1,0 +1,124 @@
+"""Section 3.3 method analyses and Figure 4's curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    analyze_bam,
+    analyze_emogi,
+    interpolate_fetched_bytes,
+    runtime_vs_transfer_size,
+)
+from repro.core.equations import example_throughput_model
+from repro.errors import ModelError
+from repro.memsim.raf import RAFResult, raf_curve
+from repro.units import MIOPS
+
+
+def make_raf(alignment, fetched):
+    return RAFResult(
+        alignment=alignment,
+        useful_bytes=1000,
+        fetched_bytes=fetched,
+        requests=max(1, fetched // alignment),
+        per_step_fetched=np.array([fetched]),
+        per_step_requests=np.array([max(1, fetched // alignment)]),
+    )
+
+
+class TestEmogiAnalysis:
+    def test_saturates_gen4(self):
+        analysis = analyze_emogi()
+        assert analysis.saturates_link
+        assert analysis.alignment_bytes == 32
+        assert analysis.transfer_bytes == pytest.approx(89.6)
+
+    def test_slope_latency_limited(self):
+        analysis = analyze_emogi()
+        assert analysis.slope == pytest.approx(768 / 1.2e-6)
+
+    def test_stops_saturating_beyond_allowable_latency(self):
+        ok = analyze_emogi(latency=2.5e-6)
+        too_slow = analyze_emogi(latency=4e-6)
+        assert ok.saturates_link
+        assert not too_slow.saturates_link
+
+
+class TestBamAnalysis:
+    def test_optimal_cacheline_near_4kb(self):
+        analysis = analyze_bam()
+        assert analysis.optimal_transfer_bytes == pytest.approx(4_000, rel=0.01)
+        assert analysis.saturates_link
+
+    def test_more_iops_shrinks_optimal_line(self):
+        better = analyze_bam(aggregate_iops=24 * MIOPS)
+        assert better.optimal_transfer_bytes == pytest.approx(1_000, rel=0.01)
+
+
+class TestInterpolation:
+    def test_sorted_output(self):
+        alignments, fetched = interpolate_fetched_bytes(
+            [make_raf(512, 3000), make_raf(16, 1100), make_raf(64, 1500)]
+        )
+        assert alignments.tolist() == [16, 64, 512]
+        assert fetched.tolist() == [1100, 1500, 3000]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            interpolate_fetched_bytes([make_raf(16, 100), make_raf(16, 200)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            interpolate_fetched_bytes([])
+
+
+class TestFigure4Curves:
+    @pytest.fixture(scope="class")
+    def series(self, bfs_trace):
+        raf_results = raf_curve(bfs_trace, (16, 64, 256, 1024, 4096))
+        return runtime_vs_transfer_size(raf_results, example_throughput_model())
+
+    def test_keys_and_shapes(self, series):
+        assert set(series) == {
+            "transfer_bytes",
+            "fetched_bytes",
+            "throughput",
+            "runtime",
+        }
+        n = series["transfer_bytes"].size
+        assert all(v.size == n for v in series.values())
+
+    def test_fetched_bytes_increase_with_d(self, series):
+        assert series["fetched_bytes"][-1] > series["fetched_bytes"][0]
+
+    def test_runtime_is_d_over_t(self, series):
+        assert np.allclose(
+            series["runtime"], series["fetched_bytes"] / series["throughput"]
+        )
+
+    def test_optimum_near_d_opt(self, series):
+        """The best runtime sits at the smallest d that saturates W
+        (Section 3.3.2): ~500 B for the Eq. 4 example numbers."""
+        best = series["transfer_bytes"][np.argmin(series["runtime"])]
+        assert 256 <= best <= 1024
+
+    def test_runtime_u_shape(self, series):
+        """Runtime falls in the IOPS/latency-limited region and rises in
+        the bandwidth-saturated region: minimum strictly inside."""
+        runtimes = series["runtime"]
+        best_idx = int(np.argmin(runtimes))
+        assert 0 < best_idx < runtimes.size - 1
+
+    def test_explicit_transfer_sizes(self, bfs_trace):
+        raf_results = raf_curve(bfs_trace, (16, 4096))
+        out = runtime_vs_transfer_size(
+            raf_results, example_throughput_model(), np.array([32.0, 64.0])
+        )
+        assert out["transfer_bytes"].tolist() == [32.0, 64.0]
+
+    def test_invalid_transfer_sizes(self, bfs_trace):
+        raf_results = raf_curve(bfs_trace, (16, 4096))
+        with pytest.raises(ModelError):
+            runtime_vs_transfer_size(
+                raf_results, example_throughput_model(), np.array([0.0])
+            )

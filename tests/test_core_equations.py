@@ -1,0 +1,126 @@
+"""Equations 1-5: the paper's worked numbers."""
+
+import numpy as np
+import pytest
+
+from repro.core.equations import (
+    ThroughputModel,
+    example_throughput_model,
+    optimal_transfer_size,
+    runtime,
+    throughput,
+    throughput_slope,
+)
+from repro.errors import ModelError
+from repro.units import MB_PER_S, MIOPS, USEC
+
+
+class TestRuntime:
+    def test_equation1(self):
+        assert runtime(24_000 * 1e6, 24_000 * MB_PER_S) == pytest.approx(1.0)
+
+    def test_zero_data_zero_time(self):
+        assert runtime(0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            runtime(-1, 1.0)
+        with pytest.raises(ModelError):
+            runtime(1, 0.0)
+
+
+class TestEquation4Example:
+    def test_slope_is_48(self):
+        """Eq. 4: T = min{100 d, 48 d, 24,000 MB/s} -> s = 48 (MB/s per B)."""
+        model = example_throughput_model()
+        assert model.slope == pytest.approx(48 * MIOPS)
+
+    def test_profile_terms(self):
+        model = example_throughput_model()
+        # Linear region: T(100 B) = 48 * 100 = 4,800 MB/s.
+        assert model.throughput(100.0) == pytest.approx(4_800 * MB_PER_S)
+        # Saturated region.
+        assert model.throughput(10_000.0) == pytest.approx(24_000 * MB_PER_S)
+
+    def test_optimal_transfer_size(self):
+        """d_opt = W / s = 24,000 / 48 = 500 B for the example numbers."""
+        model = example_throughput_model()
+        assert model.optimal_transfer_size() == pytest.approx(500.0)
+
+    def test_vectorised_evaluation(self):
+        model = example_throughput_model()
+        ds = np.array([64.0, 500.0, 4096.0])
+        out = model.throughput(ds)
+        assert out.shape == ds.shape
+        assert np.all(np.diff(out) >= 0)
+
+
+class TestThroughputModel:
+    def test_storage_mode_ignores_littles_law(self):
+        """outstanding=None: slope = S regardless of latency (Section 3.2)."""
+        model = ThroughputModel(
+            iops=6 * MIOPS, latency=1.0, bandwidth=24_000 * MB_PER_S, outstanding=None
+        )
+        assert model.slope == pytest.approx(6 * MIOPS)
+
+    def test_bam_optimal_is_4kb(self):
+        """Section 3.3.2: d_BaM = W / S = 24,000 MB/s / 6 MIOPS ~= 4 kB."""
+        model = ThroughputModel(
+            iops=6 * MIOPS, latency=10 * USEC, bandwidth=24_000 * MB_PER_S,
+            outstanding=None,
+        )
+        assert model.optimal_transfer_size() == pytest.approx(4_000, rel=0.01)
+
+    def test_emogi_saturates_with_89_6(self):
+        """Section 3.3.1: s*d = 57,344 MB/s > W for the host DRAM."""
+        model = ThroughputModel(
+            iops=1e12, latency=1.2 * USEC, bandwidth=24_000 * MB_PER_S,
+            outstanding=768,
+        )
+        assert model.saturates(89.6)
+        assert model.slope * 89.6 == pytest.approx(57_344 * MB_PER_S, rel=1e-3)
+
+    def test_iops_limited_slope(self):
+        model = ThroughputModel(
+            iops=1 * MIOPS, latency=1 * USEC, bandwidth=1e12, outstanding=768
+        )
+        assert model.slope == pytest.approx(1 * MIOPS)
+
+    def test_latency_limited_slope(self):
+        model = ThroughputModel(
+            iops=1e12, latency=16 * USEC, bandwidth=1e12, outstanding=768
+        )
+        assert model.slope == pytest.approx(768 / (16 * USEC))
+
+    def test_throughput_never_exceeds_bandwidth(self):
+        model = example_throughput_model()
+        ds = np.geomspace(16, 10**6, 50)
+        assert np.all(model.throughput(ds) <= model.bandwidth + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ThroughputModel(iops=0, latency=1, bandwidth=1, outstanding=None)
+        with pytest.raises(ModelError):
+            ThroughputModel(iops=1, latency=1, bandwidth=1, outstanding=0)
+        model = example_throughput_model()
+        with pytest.raises(ModelError):
+            model.throughput(0.0)
+        with pytest.raises(ModelError):
+            model.saturates(-1)
+
+
+class TestFunctionalForms:
+    def test_throughput_function(self):
+        assert throughput(
+            500, 100 * MIOPS, 16 * USEC, 24_000 * MB_PER_S, 768
+        ) == pytest.approx(24_000 * MB_PER_S)
+
+    def test_slope_function(self):
+        assert throughput_slope(100 * MIOPS, 16 * USEC, 768) == pytest.approx(
+            48 * MIOPS
+        )
+
+    def test_optimal_function(self):
+        assert optimal_transfer_size(
+            6 * MIOPS, 10 * USEC, 24_000 * MB_PER_S, None
+        ) == pytest.approx(4_000)

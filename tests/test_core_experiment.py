@@ -1,0 +1,100 @@
+"""Experiment runner and named system factories."""
+
+import pytest
+
+from repro.core.experiment import (
+    bam_system,
+    cxl_system,
+    emogi_system,
+    run_algorithm,
+    run_experiment,
+    xlfdd_system,
+)
+from repro.errors import ModelError
+from repro.interconnect.pcie import PCIeLink
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("algorithm", ["bfs", "sssp", "cc", "pagerank"])
+    def test_all_algorithms_produce_traces(self, urand_small, algorithm):
+        trace = run_algorithm(urand_small, algorithm)
+        assert trace.num_steps > 0
+        assert trace.useful_bytes > 0
+        assert trace.edge_list_bytes == urand_small.edge_list_bytes
+
+    def test_sssp_autoweights_unweighted_graphs(self, urand_small):
+        trace = run_algorithm(urand_small, "sssp")
+        assert trace.algorithm == "sssp"
+
+    def test_unknown_algorithm(self, urand_small):
+        with pytest.raises(ModelError, match="unknown algorithm"):
+            run_algorithm(urand_small, "pagerankz")
+
+    def test_case_insensitive(self, urand_small):
+        assert run_algorithm(urand_small, "BFS").algorithm == "bfs"
+
+    def test_source_forwarded(self, urand_small):
+        trace = run_algorithm(urand_small, "bfs", source=42)
+        assert trace.steps[0].vertices.tolist() == [42]
+
+
+class TestFactories:
+    def test_names(self):
+        assert emogi_system().name == "emogi-dram"
+        assert emogi_system(remote_socket=True).name == "emogi-dram-remote"
+        assert bam_system().name == "bam-4096B"
+        assert xlfdd_system(alignment_bytes=32).name == "xlfdd-32B"
+        assert cxl_system(2e-6).name == "cxl+2us"
+
+    def test_default_links(self):
+        assert emogi_system().link.generation.name == "gen4"
+        assert cxl_system(0.0).link.generation.name == "gen3"
+
+    def test_remote_socket_adds_latency(self):
+        assert (
+            emogi_system(remote_socket=True).total_latency
+            > emogi_system().total_latency
+        )
+
+    def test_xlfdd_drive_count(self):
+        assert xlfdd_system(drives=8).pool.count == 8
+
+    def test_cxl_device_count(self):
+        assert cxl_system(0.0, devices=3).pool.count == 3
+
+
+class TestRunExperiment:
+    def test_result_rows(self, urand_small):
+        result = run_experiment(urand_small, "bfs", emogi_system())
+        row = result.as_row()
+        assert row["graph"] == urand_small.name
+        assert row["algorithm"] == "bfs"
+        assert row["system"] == "emogi-dram"
+        assert row["runtime_s"] > 0
+        assert row["raf"] >= 1.0
+
+    def test_precomputed_trace_reused(self, urand_small, bfs_trace):
+        a = run_experiment(urand_small, "bfs", emogi_system(), trace=bfs_trace)
+        b = run_experiment(urand_small, "bfs", emogi_system(), trace=bfs_trace)
+        assert a.runtime == b.runtime
+
+    def test_paper_ordering_bam_slowest(self, urand_paper, paper_bfs_trace):
+        """Figures 5/6: EMOGI <= XLFDD(16B) << BaM(4kB) on BFS."""
+        emogi = run_experiment(
+            urand_paper, "bfs", emogi_system(), trace=paper_bfs_trace
+        )
+        xlfdd = run_experiment(
+            urand_paper, "bfs", xlfdd_system(), trace=paper_bfs_trace
+        )
+        bam = run_experiment(urand_paper, "bfs", bam_system(), trace=paper_bfs_trace)
+        assert bam.runtime > 1.5 * emogi.runtime
+        assert xlfdd.runtime < bam.runtime
+        assert xlfdd.runtime == pytest.approx(emogi.runtime, rel=0.35)
+
+    def test_cxl_at_zero_matches_dram(self, urand_small):
+        """Figure 11 at +0 us: 'almost identical' runtimes."""
+        link = PCIeLink.from_name("gen3")
+        trace = run_algorithm(urand_small, "bfs")
+        dram = run_experiment(urand_small, "bfs", emogi_system(link), trace=trace)
+        cxl = run_experiment(urand_small, "bfs", cxl_system(0.0, link), trace=trace)
+        assert cxl.runtime == pytest.approx(dram.runtime, rel=0.1)

@@ -1,0 +1,129 @@
+"""Export serialisation and ASCII plotting."""
+
+import json
+
+import pytest
+
+from repro.core.export import load_rows, rows_to_csv, rows_to_json, save_rows
+from repro.core.plot import ascii_chart, sparkline
+from repro.errors import ModelError
+from repro import figures
+
+ROWS = [
+    {"a": 1, "b": 2.5, "label": "x"},
+    {"a": 2, "b": 3.5, "label": "y", "extra": "z"},
+]
+
+
+class TestCSV:
+    def test_header_union_first_seen_order(self):
+        lines = rows_to_csv(ROWS).splitlines()
+        assert lines[0] == "a,b,label,extra"
+        assert lines[1] == "1,2.5,x,"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            rows_to_csv([])
+
+
+class TestJSON:
+    def test_round_trip(self):
+        data = json.loads(rows_to_json(ROWS))
+        assert data[0]["a"] == 1
+        assert data[1]["extra"] == "z"
+
+    def test_numpy_scalars_serialise(self):
+        import numpy as np
+
+        text = rows_to_json([{"v": np.int64(7), "f": np.float64(1.5)}])
+        assert json.loads(text) == [{"v": 7, "f": 1.5}]
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("suffix", ["csv", "json"])
+    def test_round_trip(self, tmp_path, suffix):
+        path = save_rows(ROWS, tmp_path / f"out.{suffix}")
+        loaded = load_rows(path)
+        assert loaded[0]["a"] == 1
+        assert loaded[0]["b"] == 2.5
+        assert loaded[0]["label"] == "x"
+
+    def test_txt_renders_table(self, tmp_path):
+        path = save_rows(ROWS, tmp_path / "out.txt")
+        assert "label" in path.read_text()
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ModelError, match="unknown export"):
+            save_rows(ROWS, tmp_path / "out.xml")
+        with pytest.raises(ModelError, match="cannot load"):
+            (tmp_path / "out.yaml").write_text("x")
+            load_rows(tmp_path / "out.yaml")
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        path = save_rows(ROWS, tmp_path / "data.dat", format="json")
+        assert json.loads(path.read_text())[0]["a"] == 1
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            sparkline([])
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"up": ([1, 2, 3], [1, 2, 3]), "down": ([1, 2, 3], [3, 2, 1])},
+            width=20,
+            height=6,
+        )
+        assert "* up" in chart and "o down" in chart
+        assert "|" in chart and "+" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"s": ([1, 10], [0.5, 2.0])}, x_label="align", y_label="raf"
+        )
+        assert "align: 1 .. 10" in chart
+        assert "raf vertical" in chart
+
+    def test_log_axis_notes(self):
+        chart = ascii_chart({"s": ([16, 4096], [1, 2])}, log_x=True)
+        assert "log2 axis" in chart
+        assert "16 .. 4096" in chart
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ascii_chart({})
+        with pytest.raises(ModelError):
+            ascii_chart({"s": ([1], [1, 2])})
+        with pytest.raises(ModelError):
+            ascii_chart({"s": ([1], [1])}, width=2)
+        with pytest.raises(ModelError):
+            ascii_chart({"s": ([0], [1])}, log_x=True)
+
+
+class TestFigurePlots:
+    def test_plot_specs_reference_real_keys(self):
+        # figure10 is cheap and scale-independent: verify end to end.
+        result = figures.figure10()
+        chart = figures.plot_figure(result)
+        assert "figure10" in chart
+
+    def test_unplottable_figure_rejected(self):
+        result = figures.requirements_table()
+        with pytest.raises(ModelError, match="no chartable"):
+            figures.plot_figure(result)
+
+    def test_figure11_series_grouping(self):
+        result = figures.figure11(scale=10, datasets=("urand",), algorithms=("bfs",))
+        chart = figures.plot_figure(result)
+        assert "urand/bfs" in chart

@@ -1,0 +1,89 @@
+"""Report rendering helpers."""
+
+import pytest
+
+from repro.core.report import (
+    format_series,
+    format_table,
+    geometric_mean,
+    markdown_table,
+)
+from repro.errors import ModelError
+
+ROWS = [
+    {"name": "a", "value": 1.5, "count": 1000},
+    {"name": "bb", "value": 0.25, "count": 2},
+]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        out = format_table(ROWS)
+        assert "name" in out and "value" in out
+        assert "bb" in out and "1.500" in out
+
+    def test_title_first_line(self):
+        out = format_table(ROWS, title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_selection_and_order(self):
+        out = format_table(ROWS, columns=["count", "name"])
+        header = out.splitlines()[0]
+        assert header.index("count") < header.index("name")
+        assert "value" not in header
+
+    def test_alignment(self):
+        lines = format_table(ROWS).splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1  # header == rule width
+
+    def test_missing_keys_render_empty(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # no exception, renders blanks
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            format_table([])
+
+    def test_large_and_tiny_floats_use_scientific(self):
+        out = format_table([{"x": 1.5e-9, "y": 2.5e12}])
+        assert "e-09" in out and "e+12" in out
+
+    def test_ints_use_thousands_separators(self):
+        assert "1,000" in format_table(ROWS)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = markdown_table(ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("| name")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert len(lines) == 4
+
+
+class TestFormatSeries:
+    def test_labels(self):
+        out = format_series([1, 2], [3.0, 4.0], x_label="d", y_label="T")
+        assert "d" in out and "T" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError, match="mismatch"):
+            format_series([1], [1, 2])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) < sum(values) / 3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            geometric_mean([])
+        with pytest.raises(ModelError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,87 @@
+"""Equation 6's requirement calculator: the paper's headline numbers."""
+
+import pytest
+
+from repro.core.requirements import (
+    paper_gen3_requirements,
+    paper_gen4_requirements,
+    requirements_for,
+    xlfdd_requirements,
+)
+from repro.errors import ModelError
+from repro.interconnect.pcie import PCIeLink
+from repro.units import MIOPS, USEC
+
+
+def test_gen4_numbers_match_section_3_4():
+    """S >= 268 MIOPS and L <= 2.87 us."""
+    req = paper_gen4_requirements()
+    assert req.min_iops == pytest.approx(268 * MIOPS, rel=0.005)
+    assert req.max_latency == pytest.approx(2.87 * USEC, rel=0.005)
+
+
+def test_gen3_numbers_match_section_4_2_2():
+    """S >= 134 MIOPS and L <= 1.91 us."""
+    req = paper_gen3_requirements()
+    assert req.min_iops == pytest.approx(134 * MIOPS, rel=0.005)
+    assert req.max_latency == pytest.approx(1.91 * USEC, rel=0.005)
+
+
+def test_xlfdd_number_matches_section_4_1_1():
+    """256 B sublist transfers need only S >= 93.75 MIOPS."""
+    req = xlfdd_requirements()
+    assert req.min_iops == pytest.approx(93.75 * MIOPS)
+
+
+def test_gen3_is_half_of_gen4_iops():
+    assert paper_gen3_requirements().min_iops == pytest.approx(
+        paper_gen4_requirements().min_iops / 2
+    )
+
+
+def test_larger_transfers_relax_both_requirements():
+    link = PCIeLink.from_name("gen4")
+    small = requirements_for(link, 64)
+    large = requirements_for(link, 512)
+    assert large.min_iops < small.min_iops
+    assert large.max_latency > small.max_latency
+
+
+def test_satisfied_by():
+    req = paper_gen4_requirements()
+    # 16 XLFDDs: 176 MIOPS is NOT enough at d_EMOGI...
+    assert not req.satisfied_by(176 * MIOPS, 1 * USEC)
+    # ...but a 300-MIOPS, 2 us pool is.
+    assert req.satisfied_by(300 * MIOPS, 2 * USEC)
+    # Latency violation alone also fails.
+    assert not req.satisfied_by(300 * MIOPS, 5 * USEC)
+
+
+def test_satisfied_by_validation():
+    with pytest.raises(ModelError):
+        paper_gen4_requirements().satisfied_by(0, 1e-6)
+
+
+def test_requirements_for_validation():
+    with pytest.raises(ModelError):
+        requirements_for(PCIeLink.from_name("gen4"), 0)
+    with pytest.raises(ModelError):
+        xlfdd_requirements(avg_sublist_bytes=0)
+
+
+def test_describe_has_units():
+    text = paper_gen4_requirements().describe()
+    assert "MIOPS" in text and "us" in text
+
+
+def test_cxl_pool_meets_gen3_requirements():
+    """The paper's five-device CXL pool satisfies Gen3 at low latency but
+    violates the latency bound around +2 us added (Figure 11's knee)."""
+    from repro.devices.cxl import cxl_memory_pool
+    from repro.config import HOST_DRAM_GPU_LATENCY
+
+    req = paper_gen3_requirements()
+    good = cxl_memory_pool(5, added_latency=0.0)
+    assert req.satisfied_by(good.iops, HOST_DRAM_GPU_LATENCY + good.latency)
+    bad = cxl_memory_pool(5, added_latency=2e-6)
+    assert not req.satisfied_by(bad.iops, HOST_DRAM_GPU_LATENCY + bad.latency)

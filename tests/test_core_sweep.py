@@ -1,0 +1,102 @@
+"""Sweeps: the machinery behind Figures 5, 6, 11."""
+
+import pytest
+
+from repro.core.report import geometric_mean
+from repro.core.sweep import (
+    alignment_sweep,
+    cxl_latency_sweep,
+    method_comparison,
+    normalized,
+)
+from repro.errors import ModelError
+from repro.units import USEC
+
+
+class TestNormalized:
+    def test_divides_by_baseline(self):
+        assert normalized([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ModelError):
+            normalized([1.0], 0.0)
+
+
+class TestAlignmentSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, paper_bfs_trace):
+        return alignment_sweep(paper_bfs_trace, alignments=(16, 64, 512, 4096))
+
+    def test_keys(self, sweep):
+        assert set(sweep) == {"xlfdd", "bam"}
+        assert len(sweep["xlfdd"]) == 4
+        assert len(sweep["bam"]) == 1
+
+    def test_monotone_in_alignment(self, sweep):
+        """Figure 5: faster execution with smaller alignments."""
+        norms = [p.normalized_runtime for p in sweep["xlfdd"]]
+        assert norms == sorted(norms)
+
+    def test_small_alignment_approaches_dram(self, sweep):
+        """At 16 B the normalized runtime is ~1 (Observation 1)."""
+        assert sweep["xlfdd"][0].normalized_runtime == pytest.approx(1.0, abs=0.35)
+
+    def test_bam_point_at_4kb(self, sweep):
+        assert sweep["bam"][0].x == 4096.0
+        assert sweep["bam"][0].normalized_runtime > 1.3
+
+    def test_no_bam_option(self, bfs_trace):
+        sweep = alignment_sweep(bfs_trace, alignments=(16,), include_bam=False)
+        assert "bam" not in sweep
+
+
+class TestCxlLatencySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, bfs_trace):
+        return cxl_latency_sweep(bfs_trace)
+
+    def test_four_points(self, sweep):
+        assert [p.x for p in sweep] == [0.0, 1e-6, 2e-6, 3e-6]
+
+    def test_flat_at_zero_added(self, sweep):
+        """Figure 11: identical to DRAM while under the 1.91 us bound."""
+        assert sweep[0].normalized_runtime == pytest.approx(1.0, abs=0.1)
+
+    def test_monotone_growth(self, sweep):
+        norms = [p.normalized_runtime for p in sweep]
+        assert norms == sorted(norms)
+        assert norms[-1] > 1.5
+
+    def test_knee_binds_on_latency(self, sweep):
+        """Past the knee the latency term is the dominant bound."""
+        assert sweep[-1].bound == "latency"
+
+    def test_more_devices_dont_help_past_pcie(self, bfs_trace):
+        """With the PCIe link binding, doubling CXL devices changes little
+        at zero added latency (the bottleneck is N_max, not the pool)."""
+        five = cxl_latency_sweep(bfs_trace, added_latencies=(0.0,), devices=5)
+        ten = cxl_latency_sweep(bfs_trace, added_latencies=(0.0,), devices=10)
+        assert ten[0].runtime == pytest.approx(five[0].runtime, rel=0.05)
+
+
+class TestMethodComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, urand_small, kron_small):
+        return method_comparison([urand_small, kron_small], algorithms=("bfs",))
+
+    def test_row_count(self, rows):
+        # 2 graphs x 1 algorithm x 2 systems.
+        assert len(rows) == 4
+
+    def test_normalized_column_present(self, rows):
+        assert all("normalized_runtime" in row for row in rows)
+
+    def test_figure6_ordering(self, rows):
+        """XLFDD's geomean beats BaM's across the workload matrix."""
+        xlfdd = [
+            r["normalized_runtime"] for r in rows if str(r["system"]).startswith("xlfdd")
+        ]
+        bam = [
+            r["normalized_runtime"] for r in rows if str(r["system"]).startswith("bam")
+        ]
+        assert geometric_mean(xlfdd) < geometric_mean(bam)

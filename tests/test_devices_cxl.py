@@ -1,0 +1,113 @@
+"""The CXL memory prototype: latency bridge, Figure 10 behaviour, pooling."""
+
+import numpy as np
+import pytest
+
+from repro.config import AGILEX_CHANNEL_BANDWIDTH
+from repro.devices.base import AccessKind
+from repro.devices.cxl import (
+    CXLMemoryDevice,
+    LatencyBridge,
+    agilex_prototype,
+    cxl_memory_pool,
+)
+from repro.errors import DeviceError
+from repro.units import MB_PER_S, USEC, to_mb_per_s
+
+
+class TestLatencyBridge:
+    def test_release_adds_latency(self):
+        bridge = LatencyBridge(added_latency=2 * USEC)
+        out = bridge.release_times(np.array([0.0]), dram_latency=1 * USEC)
+        assert out[0] == pytest.approx(3 * USEC)
+
+    def test_fifo_in_order_head_of_line(self):
+        """A late deadline delays every later response (in-order FIFO)."""
+        bridge = LatencyBridge(added_latency=0.0)
+        # First request has a long DRAM latency baked into its arrival gap.
+        arrivals = np.array([0.0, 1e-9])
+        out = bridge.release_times(arrivals, dram_latency=5 * USEC)
+        assert out[1] >= out[0]
+
+    def test_releases_monotonic(self):
+        bridge = LatencyBridge(added_latency=1 * USEC)
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 1e-3, 100))
+        out = bridge.release_times(arrivals, dram_latency=0.1 * USEC)
+        assert np.all(np.diff(out) >= 0)
+        assert np.all(out >= arrivals + 1.1 * USEC - 1e-15)
+
+    def test_unsorted_arrivals_rejected(self):
+        bridge = LatencyBridge(0.0)
+        with pytest.raises(DeviceError, match="non-decreasing"):
+            bridge.release_times(np.array([1.0, 0.5]), 0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(DeviceError):
+            LatencyBridge(added_latency=-1e-6)
+
+
+class TestPrototypeCharacteristics:
+    def test_figure10_plateau(self):
+        """At zero added latency the single DRAM channel caps throughput."""
+        device = agilex_prototype(0.0)
+        assert device.cpu_read_throughput() == pytest.approx(5_700 * MB_PER_S)
+
+    def test_figure10_decay(self):
+        """Longer latency pushes throughput below the channel cap."""
+        throughputs = [
+            agilex_prototype(u * USEC).cpu_read_throughput() for u in (0, 1, 2, 3)
+        ]
+        assert throughputs[0] > throughputs[1] > throughputs[2] > throughputs[3]
+        # Paper: ~2,500 MB/s per device around +3 us added latency.
+        assert 1_800 * MB_PER_S < throughputs[3] < 3_200 * MB_PER_S
+
+    def test_figure10_outstanding_saturates_at_128(self):
+        device = agilex_prototype(3 * USEC)
+        assert device.observed_outstanding() == pytest.approx(128)
+
+    def test_outstanding_below_limit_on_plateau(self):
+        device = agilex_prototype(0.0)
+        assert device.observed_outstanding() < 128
+
+    def test_gpu_visible_outstanding_is_64(self):
+        assert agilex_prototype().gpu_visible_outstanding == 64
+
+    def test_device_latency_composition(self):
+        device = agilex_prototype(2 * USEC)
+        assert device.device_latency == pytest.approx(2.5 * USEC)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            CXLMemoryDevice(added_latency=-1e-6)
+        with pytest.raises(DeviceError):
+            CXLMemoryDevice(channel_bandwidth=0)
+
+
+class TestProfileAndPool:
+    def test_profile_is_memory_kind(self):
+        profile = agilex_prototype().profile()
+        assert profile.kind is AccessKind.MEMORY
+        assert profile.max_outstanding == 64
+        assert profile.internal_bandwidth == pytest.approx(AGILEX_CHANNEL_BANDWIDTH)
+
+    def test_profile_latency_tracks_bridge(self):
+        assert agilex_prototype(1 * USEC).profile().latency == pytest.approx(
+            1.5 * USEC
+        )
+
+    def test_pool_of_five_exceeds_gen3_tags(self):
+        """Section 4.2.2: 5 x 64 = 320 > 256 so PCIe binds, not the CXL
+        devices."""
+        pool = cxl_memory_pool(5)
+        assert pool.max_outstanding == 320
+        assert pool.max_outstanding > 256
+
+    def test_pool_bandwidth_scales(self):
+        assert cxl_memory_pool(5).internal_bandwidth == pytest.approx(
+            5 * AGILEX_CHANNEL_BANDWIDTH
+        )
+
+    def test_bridge_property_roundtrip(self):
+        device = agilex_prototype(1.5 * USEC)
+        assert device.bridge.added_latency == pytest.approx(1.5 * USEC)

@@ -1,0 +1,140 @@
+"""Concrete device models: DRAM, XLFDD, NVMe, and the flash substrate."""
+
+import pytest
+
+from repro.config import GPU_SECTOR_BYTES
+from repro.devices.base import AccessKind
+from repro.devices.dram import host_dram_device
+from repro.devices.flash import (
+    CONVENTIONAL_TLC_DIE,
+    FlashArray,
+    FlashDieSpec,
+    LOW_LATENCY_FLASH_DIE,
+)
+from repro.devices.nvme import bam_ssd_array, nvme_device
+from repro.devices.xlfdd import xlfdd_array, xlfdd_device
+from repro.errors import DeviceError
+from repro.units import MB_PER_S, MIOPS, USEC
+
+
+class TestFlashSubstrate:
+    def test_die_read_rate(self):
+        die = FlashDieSpec(name="d", read_latency=4 * USEC, page_bytes=4096, planes=2)
+        assert die.reads_per_second == pytest.approx(2 / (4 * USEC))
+
+    def test_low_latency_die_is_microsecond_class(self):
+        assert LOW_LATENCY_FLASH_DIE.read_latency <= 5 * USEC
+
+    def test_tlc_die_is_much_slower(self):
+        assert CONVENTIONAL_TLC_DIE.read_latency > 10 * LOW_LATENCY_FLASH_DIE.read_latency
+
+    def test_array_media_iops_scales_with_dies(self):
+        a32 = FlashArray(LOW_LATENCY_FLASH_DIE, dies=32)
+        a64 = FlashArray(LOW_LATENCY_FLASH_DIE, dies=64)
+        assert a64.media_iops == pytest.approx(2 * a32.media_iops)
+
+    def test_controller_cap_limits_iops(self):
+        array = FlashArray(LOW_LATENCY_FLASH_DIE, dies=64, controller_iops_cap=11 * MIOPS)
+        assert array.iops == pytest.approx(11 * MIOPS)
+        assert array.media_iops > array.iops
+
+    def test_latency_includes_controller(self):
+        array = FlashArray(LOW_LATENCY_FLASH_DIE, dies=4, controller_latency=1 * USEC)
+        assert array.read_latency == pytest.approx(
+            LOW_LATENCY_FLASH_DIE.read_latency + 1 * USEC
+        )
+
+    def test_section_2_3_sizing(self):
+        """Multiple dies of microsecond flash reach in-memory-class IOPS."""
+        array = FlashArray(LOW_LATENCY_FLASH_DIE, dies=512)
+        assert array.media_iops >= 100 * MIOPS
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            FlashDieSpec(name="x", read_latency=0, page_bytes=4096)
+        with pytest.raises(DeviceError):
+            FlashArray(LOW_LATENCY_FLASH_DIE, dies=0)
+
+
+class TestHostDram:
+    def test_memory_kind_with_sector_alignment(self):
+        device = host_dram_device()
+        assert device.kind is AccessKind.MEMORY
+        assert device.alignment_bytes == GPU_SECTOR_BYTES
+
+    def test_iops_vastly_exceeds_pcie_needs(self):
+        """Section 3.3.1: host DRAM IOPS is 'excessively high'."""
+        device = host_dram_device()
+        # Gen4 needs 268 MIOPS; DRAM should be 10x beyond that.
+        assert device.iops > 10 * 268 * MIOPS
+
+    def test_bandwidth_scales_with_channels(self):
+        assert host_dram_device(channels=2).internal_bandwidth == pytest.approx(
+            host_dram_device(channels=1).internal_bandwidth * 2
+        )
+
+    def test_no_outstanding_limit(self):
+        assert host_dram_device().max_outstanding is None
+
+    def test_channel_validation(self):
+        with pytest.raises(DeviceError):
+            host_dram_device(channels=0)
+
+
+class TestXLFDD:
+    def test_rated_parameters(self):
+        device = xlfdd_device()
+        assert device.alignment_bytes == 16
+        assert device.max_transfer_bytes == 2_048
+        assert device.iops == pytest.approx(11 * MIOPS)
+        assert device.kind is AccessKind.STORAGE
+
+    def test_latency_is_microsecond_class(self):
+        assert xlfdd_device().latency < 10 * USEC
+
+    def test_array_meets_section_4_1_1_requirement(self):
+        """16 drives must exceed the 93.75 MIOPS the workload requires."""
+        pool = xlfdd_array()
+        assert pool.count == 16
+        assert pool.iops >= 93.75 * MIOPS
+
+    def test_inconsistent_die_count_rejected(self):
+        with pytest.raises(DeviceError, match="below the"):
+            xlfdd_device(dies=2)
+
+
+class TestNVMe:
+    def test_bam_aggregate_is_6_miops(self):
+        pool = bam_ssd_array()
+        assert pool.count == 4
+        assert pool.iops == pytest.approx(6 * MIOPS)
+
+    def test_nvme_block_alignment(self):
+        assert nvme_device().alignment_bytes == 512
+
+    def test_latency_class(self):
+        device = nvme_device()
+        assert 5 * USEC <= device.latency <= 50 * USEC
+
+    def test_conventional_media_cannot_sustain_bam_rating(self):
+        # 8 TLC dies sustain ~0.53 MIOPS, below the 1.5 MIOPS rating.
+        with pytest.raises(DeviceError, match="below the requested"):
+            nvme_device(low_latency_media=False, dies=8)
+
+    def test_conventional_media_ok_with_modest_rating(self):
+        device = nvme_device(
+            low_latency_media=False, dies=32, iops=0.5 * MIOPS
+        )
+        assert device.iops == pytest.approx(0.5 * MIOPS)
+
+
+class TestCrossDeviceOrdering:
+    def test_iops_hierarchy_matches_paper(self):
+        """DRAM >> XLFDD array >> BaM SSD array (the premise of Fig 5/6)."""
+        dram = host_dram_device().iops
+        xlfdd = xlfdd_array().iops
+        bam = bam_ssd_array().iops
+        assert dram > xlfdd > bam
+
+    def test_latency_hierarchy(self):
+        assert host_dram_device().latency < xlfdd_device().latency <= nvme_device().latency

@@ -1,0 +1,59 @@
+"""Documentation audit: every public item carries a docstring.
+
+Deliverable-level guarantee, enforced mechanically: all public modules,
+classes, functions and methods in the package document themselves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exports are documented at their home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def test_all_modules_have_docstrings():
+    missing = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_all_public_classes_and_functions_have_docstrings():
+    missing = []
+    for module in iter_modules():
+        for name, obj in public_members(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_public_methods_have_docstrings():
+    missing = []
+    for module in iter_modules():
+        for cls_name, cls in public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isfunction(member) or isinstance(member, property)):
+                    continue
+                # getdoc follows the MRO, so overrides of documented
+                # abstract methods inherit their contract's docstring.
+                if not (inspect.getdoc(getattr(cls, name)) or "").strip():
+                    missing.append(f"{module.__name__}.{cls_name}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"

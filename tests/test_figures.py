@@ -1,0 +1,149 @@
+"""The figure-regeneration harness: every artifact runs and has the
+paper's qualitative shape at a small scale."""
+
+import pytest
+
+from repro import figures
+from repro.errors import ModelError
+
+SCALE = 12  # keep the full-matrix figures fast in the unit suite
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        assert set(figures.ALL_FIGURES) == {
+            "table1",
+            "table2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure9",
+            "figure10",
+            "figure11",
+            "requirements",
+        }
+
+    def test_reproduce_dispatch(self):
+        result = figures.reproduce("figure10")
+        assert result.name == "figure10"
+
+    def test_reproduce_unknown(self):
+        with pytest.raises(ModelError, match="unknown figure"):
+            figures.reproduce("figure99")
+
+    def test_render_is_text(self):
+        text = figures.figure10().render()
+        assert "figure10" in text
+        assert "note:" in text
+
+
+class TestTable1:
+    def test_three_datasets(self):
+        rows = figures.table1(scale=SCALE).rows
+        assert {r["dataset"] for r in rows} == {"urand", "kron", "friendster"}
+
+    def test_measured_tracks_paper(self):
+        for row in figures.table1(scale=SCALE).rows:
+            assert row["measured_avg_degree"] == pytest.approx(
+                row["paper_avg_degree"], rel=0.35
+            )
+
+
+class TestTable2:
+    def test_frontier_explosion(self):
+        rows = figures.table2(scale=SCALE).rows
+        sizes = [r["vertices"] for r in rows]
+        assert max(sizes) > 0.5 * sum(sizes)
+        assert sizes[0] == 1
+
+
+class TestFigure3:
+    def test_raf_monotone_for_every_workload(self):
+        rows = figures.figure3(
+            scale=SCALE, alignments=(16, 256, 4096), algorithms=("bfs",)
+        ).rows
+        by_workload = {}
+        for row in rows:
+            by_workload.setdefault((row["dataset"], row["algorithm"]), []).append(
+                (row["alignment_B"], row["raf"])
+            )
+        for series in by_workload.values():
+            series.sort()
+            rafs = [raf for _, raf in series]
+            assert rafs == sorted(rafs)
+            assert rafs[0] >= 1.0
+
+
+class TestFigure4:
+    def test_notes_contain_paper_numbers(self):
+        result = figures.figure4(scale=SCALE)
+        assert any("48" in note for note in result.notes)
+        assert any("500" in note for note in result.notes)
+
+    def test_runtime_minimum_interior(self):
+        rows = figures.figure4(scale=SCALE).rows
+        runtimes = [r["runtime_s"] for r in rows]
+        best = runtimes.index(min(runtimes))
+        assert 0 < best < len(runtimes) - 1
+
+
+class TestFigure5:
+    def test_series_shapes(self):
+        rows = figures.figure5(scale=SCALE, alignments=(16, 512, 4096)).rows
+        xlfdd = [r for r in rows if r["system"] == "xlfdd"]
+        norms = [r["normalized_runtime"] for r in xlfdd]
+        assert norms == sorted(norms)
+        assert any(r["system"] == "bam" for r in rows)
+
+
+class TestFigure6:
+    def test_geomean_note_present(self):
+        result = figures.figure6(scale=SCALE, algorithms=("bfs",))
+        assert any("geomean" in note for note in result.notes)
+
+    def test_six_workloads_two_systems(self):
+        rows = figures.figure6(scale=SCALE).rows
+        assert len(rows) == 3 * 2 * 2
+
+
+class TestFigure9:
+    def test_latency_ladder(self):
+        rows = figures.figure9(hops=16).rows
+        by_target = {r["target"]: r["chased_latency_us"] for r in rows}
+        assert by_target["host DRAM, GPU socket"] == pytest.approx(1.2, abs=0.15)
+        assert by_target["CXL (+0 us), GPU socket"] == pytest.approx(1.7, abs=0.15)
+        assert by_target["CXL (+3 us), GPU socket"] == pytest.approx(4.7, abs=0.15)
+        # Remote socket always slower than local.
+        assert (
+            by_target["host DRAM, other socket"]
+            > by_target["host DRAM, GPU socket"]
+        )
+
+
+class TestFigure10:
+    def test_plateau_then_decay(self):
+        rows = figures.figure10().rows
+        bw = [r["bandwidth_MBps"] for r in rows]
+        assert bw[0] == pytest.approx(5_700)
+        assert bw[-1] < bw[0]
+        outstanding = [r["outstanding_reads"] for r in rows]
+        assert max(outstanding) == pytest.approx(128)
+
+
+class TestFigure11:
+    def test_flat_then_growth_for_every_workload(self):
+        rows = figures.figure11(
+            scale=SCALE, algorithms=("bfs",), datasets=("urand",)
+        ).rows
+        norms = {r["added_latency_us"]: r["normalized_runtime"] for r in rows}
+        assert norms[0] == pytest.approx(1.0, abs=0.1)
+        assert norms[3] > norms[2] > norms[1] > norms[0]
+
+
+class TestRequirements:
+    def test_rows_match_paper(self):
+        rows = figures.requirements_table().rows
+        gen4 = next(r for r in rows if "gen4 @ d_EMOGI" == r["configuration"])
+        assert gen4["min_iops_MIOPS"] == pytest.approx(268, rel=0.005)
+        assert gen4["max_latency_us"] == pytest.approx(2.87, rel=0.005)

@@ -1,0 +1,82 @@
+"""UVM baseline: page migration semantics and the EMOGI comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import emogi_system, run_algorithm, uvm_system
+from repro.core.runtime_model import predict_runtime
+from repro.errors import ModelError
+from repro.gpu.uvm import UVM_PAGE_BYTES, UVMMethod
+from repro.traversal.trace import AccessTrace, TraceStep
+
+
+def make_trace(steps, edge_list_bytes=10**7):
+    trace = AccessTrace(algorithm="t", graph_name="t", edge_list_bytes=edge_list_bytes)
+    for starts, lengths in steps:
+        starts = np.asarray(starts)
+        trace.append(TraceStep(np.arange(starts.size), starts, np.asarray(lengths)))
+    return trace
+
+
+class TestMethod:
+    def test_one_fault_per_cold_page(self):
+        method = UVMMethod(pool_bytes=None)
+        physical = method.physical_trace(make_trace([([0, 10_000], [64, 64])]))
+        step = physical.steps[0]
+        assert step.requests == 2
+        assert step.link_bytes == 2 * UVM_PAGE_BYTES
+
+    def test_resident_pages_do_not_refault(self):
+        method = UVMMethod(pool_bytes=None)
+        trace = make_trace([([0], [64]), ([128], [64])])  # same page twice
+        physical = method.physical_trace(trace)
+        assert physical.steps[0].requests == 1
+        assert physical.steps[1].requests == 0  # still resident
+
+    def test_small_pool_evicts_and_refaults(self):
+        method = UVMMethod(pool_bytes=UVM_PAGE_BYTES)  # one-page pool
+        trace = make_trace([([0], [64]), ([10_000], [64]), ([0], [64])])
+        physical = method.physical_trace(trace)
+        assert [s.requests for s in physical.steps] == [1, 1, 1]
+
+    def test_state_reset_between_traces(self):
+        method = UVMMethod(pool_bytes=None)
+        trace = make_trace([([0], [64])])
+        first = method.physical_trace(trace).fetched_bytes
+        second = method.physical_trace(trace).fetched_bytes
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            UVMMethod(page_bytes=0)
+        with pytest.raises(ModelError):
+            UVMMethod(page_bytes=4096, pool_bytes=100)
+
+
+class TestVsEmogi:
+    def test_uvm_amplifies_far_more_than_zero_copy(self, urand_paper, paper_bfs_trace):
+        """The reason EMOGI exists (Section 6): page-granular migration
+        inflates fetched volume for fine-grained random access."""
+        uvm = uvm_system(
+            pool_fraction=0.25, edge_list_bytes=urand_paper.edge_list_bytes
+        )
+        emogi = emogi_system()
+        uvm_result = predict_runtime(paper_bfs_trace, uvm)
+        emogi_result = predict_runtime(paper_bfs_trace, emogi)
+        assert uvm_result.raf > 1.8 * emogi_result.raf
+        assert uvm_result.runtime > 1.5 * emogi_result.runtime
+
+    def test_unbounded_pool_still_slower_than_emogi(self, urand_paper, paper_bfs_trace):
+        uvm = uvm_system(pool_fraction=None)
+        emogi = emogi_system()
+        assert (
+            predict_runtime(paper_bfs_trace, uvm).runtime
+            > predict_runtime(paper_bfs_trace, emogi).runtime
+        )
+
+    def test_pool_fraction_requires_edge_list_bytes(self):
+        with pytest.raises(ModelError, match="edge_list_bytes"):
+            uvm_system(pool_fraction=0.5)
+
+    def test_system_name(self):
+        assert uvm_system(pool_fraction=None).name == "uvm-4096B"

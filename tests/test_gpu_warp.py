@@ -1,0 +1,65 @@
+"""GPU occupancy model."""
+
+import pytest
+
+from repro.config import GPU_ACTIVE_WARPS_BFS, GPU_TOTAL_WARPS
+from repro.errors import ConfigError
+from repro.gpu.warp import GPUSpec, KernelResources, RTX_A5000, active_warps
+
+
+def test_a5000_total_warps():
+    """Section 3.5.2: 'The GPU we use has 3,072 warps'."""
+    assert RTX_A5000.total_warps == GPU_TOTAL_WARPS == 3_072
+
+
+def test_bfs_kernel_achieves_2048_warps():
+    """Section 3.5.2: 'in our BFS execution ... 2,048 warps are running'."""
+    assert active_warps() == GPU_ACTIVE_WARPS_BFS == 2_048
+
+
+def test_light_kernel_hits_architectural_max():
+    light = KernelResources(registers_per_thread=32)
+    assert active_warps(kernel=light) == RTX_A5000.total_warps
+
+
+def test_heavier_registers_reduce_occupancy():
+    warps = [
+        active_warps(kernel=KernelResources(registers_per_thread=r))
+        for r in (32, 64, 128, 255)
+    ]
+    assert warps == sorted(warps, reverse=True)
+    assert warps[-1] < warps[0]
+
+
+def test_shared_memory_limits_blocks():
+    smem_hog = KernelResources(
+        registers_per_thread=32, shared_memory_per_block=51_200, warps_per_block=4
+    )
+    # Only 2 blocks of 4 warps fit per SM: 8 warps x 64 SMs.
+    assert active_warps(kernel=smem_hog) == 8 * 64
+
+
+def test_warps_rounded_to_whole_blocks():
+    kernel = KernelResources(registers_per_thread=60, warps_per_block=8)
+    # 65536 / (60*32) = 34.1 -> 34 -> rounded down to 32 (4 blocks of 8).
+    assert active_warps(kernel=kernel) == 32 * 64
+
+
+def test_impossible_kernel_rejected():
+    huge = KernelResources(registers_per_thread=255, warps_per_block=48)
+    with pytest.raises(ConfigError, match="no resident warps"):
+        active_warps(kernel=huge)
+
+
+def test_gpu_always_exceeds_pcie_tags():
+    """Section 3.5.2's conclusion: the GPU is never the binding limit."""
+    assert active_warps() > 768
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        GPUSpec("bad", 0, 48, 65_536, 1)
+    with pytest.raises(ConfigError):
+        KernelResources(registers_per_thread=0)
+    with pytest.raises(ConfigError):
+        KernelResources(shared_memory_per_block=-1)

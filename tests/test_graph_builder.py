@@ -1,0 +1,117 @@
+"""Edge-array clean-up and CSR construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import (
+    build_csr,
+    dedupe_edges,
+    remove_self_loops,
+    symmetrize_edges,
+)
+
+
+class TestRemoveSelfLoops:
+    def test_removes_loops_only(self):
+        src, dst, _ = remove_self_loops(np.array([0, 1, 2]), np.array([0, 2, 2]))
+        assert src.tolist() == [1]
+        assert dst.tolist() == [2]
+
+    def test_carries_weights(self):
+        _, _, w = remove_self_loops(
+            np.array([0, 1]), np.array([0, 2]), np.array([9.0, 7.0])
+        )
+        assert w.tolist() == [7.0]
+
+
+class TestDedupe:
+    def test_removes_duplicates(self):
+        src, dst, _ = dedupe_edges(np.array([1, 0, 1, 0]), np.array([2, 3, 2, 3]))
+        assert list(zip(src.tolist(), dst.tolist())) == [(0, 3), (1, 2)]
+
+    def test_keeps_first_weight(self):
+        src = np.array([0, 0])
+        dst = np.array([1, 1])
+        # After the lexsort the first occurrence in sorted order wins; both
+        # entries have the same key so stability keeps input order.
+        _, _, w = dedupe_edges(src, dst, np.array([5.0, 9.0]))
+        assert w.tolist() == [5.0]
+
+    def test_empty_input(self):
+        src, dst, w = dedupe_edges(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert src.size == 0 and dst.size == 0 and w is None
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        src, dst, _ = symmetrize_edges(np.array([0]), np.array([1]))
+        assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 1), (1, 0)]
+
+    def test_doubles_weights(self):
+        _, _, w = symmetrize_edges(np.array([0]), np.array([1]), np.array([4.0]))
+        assert w.tolist() == [4.0, 4.0]
+
+
+class TestBuildCSR:
+    def test_basic_construction(self):
+        g = build_csr(np.array([1, 0, 0]), np.array([2, 1, 2]))
+        assert g.num_vertices == 3
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(1).tolist() == [2]
+
+    def test_explicit_num_vertices(self):
+        g = build_csr(np.array([0]), np.array([1]), num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degrees[9] == 0
+
+    def test_num_vertices_inferred(self):
+        g = build_csr(np.array([0]), np.array([7]))
+        assert g.num_vertices == 8
+
+    def test_endpoints_exceeding_num_vertices_rejected(self):
+        with pytest.raises(GraphFormatError, match="exceed"):
+            build_csr(np.array([0]), np.array([5]), num_vertices=3)
+
+    def test_negative_endpoints_rejected(self):
+        with pytest.raises(GraphFormatError, match="non-negative"):
+            build_csr(np.array([-1]), np.array([0]), num_vertices=3)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(GraphFormatError, match="equal-length"):
+            build_csr(np.array([0, 1]), np.array([0]))
+
+    def test_weights_follow_edge_sort(self):
+        g = build_csr(
+            np.array([1, 0]), np.array([0, 1]), weights=np.array([10.0, 20.0])
+        )
+        # Vertex 0's edge carries 20.0, vertex 1's carries 10.0.
+        assert g.edge_weights(0).tolist() == [20.0]
+        assert g.edge_weights(1).tolist() == [10.0]
+
+    def test_full_cleanup_pipeline(self):
+        # Self loop, duplicate and asymmetry all at once.
+        g = build_csr(
+            np.array([0, 0, 0, 1]),
+            np.array([0, 1, 1, 0]),
+            symmetrize=True,
+            dedupe=True,
+            drop_self_loops=True,
+        )
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 0)]
+
+    def test_empty_edges_build(self):
+        g = build_csr(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), num_vertices=4
+        )
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_sublists_are_contiguous_and_ordered_by_source(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 50, 500)
+        dst = rng.integers(0, 50, 500)
+        g = build_csr(src, dst, num_vertices=50)
+        # Every edge of vertex v appears exactly degrees[v] times.
+        counts = np.bincount(src, minlength=50)
+        assert np.array_equal(g.degrees, counts)

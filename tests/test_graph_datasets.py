@@ -1,0 +1,69 @@
+"""Dataset registry: Table 1 equivalence at reproduction scale."""
+
+import pytest
+
+from repro.errors import GraphGenerationError
+from repro.graph.datasets import DATASETS, DEFAULT_SCALE, load_dataset, paper_table1
+
+
+def test_registry_contains_the_three_paper_datasets():
+    assert set(DATASETS) == {"urand", "kron", "friendster"}
+
+
+def test_paper_numbers_match_table1():
+    urand = DATASETS["urand"]
+    assert urand.paper_avg_degree == 32.0
+    assert urand.paper_sublist_bytes == 256.0
+    kron = DATASETS["kron"]
+    assert kron.paper_avg_degree == 67.0
+    assert kron.paper_sublist_bytes == 536.0
+    friendster = DATASETS["friendster"]
+    assert friendster.paper_avg_degree == pytest.approx(55.1)
+    assert friendster.paper_sublist_bytes == pytest.approx(440.8)
+
+
+def test_paper_edge_list_sizes_match_table1():
+    # Table 1: 35.2 GB, 33.6 GB, 28.8 GB.
+    assert DATASETS["urand"].paper_edge_list_gb == pytest.approx(35.2)
+    assert DATASETS["kron"].paper_edge_list_gb == pytest.approx(33.6)
+    assert DATASETS["friendster"].paper_edge_list_gb == pytest.approx(28.8)
+
+
+@pytest.mark.parametrize("name", ["urand", "kron", "friendster"])
+def test_scaled_average_degree_tracks_paper(name):
+    """Scaled datasets must land within 20% of the paper's average degree."""
+    graph = load_dataset(name, scale=13, seed=0)
+    paper = DATASETS[name].paper_avg_degree
+    assert graph.average_degree() == pytest.approx(paper, rel=0.2)
+
+
+def test_load_dataset_accepts_suffixed_names():
+    g = load_dataset("urand27", scale=8)
+    assert g.num_vertices == 256
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(GraphGenerationError, match="unknown dataset"):
+        load_dataset("twitter")
+
+
+def test_load_dataset_names_include_scale():
+    assert load_dataset("kron", scale=8).name == "kron@8"
+
+
+def test_build_is_deterministic():
+    a = DATASETS["urand"].build(scale=8, seed=4)
+    b = DATASETS["urand"].build(scale=8, seed=4)
+    assert a.num_edges == b.num_edges
+
+
+def test_default_scale_is_reasonable():
+    assert 10 <= DEFAULT_SCALE <= 20
+
+
+def test_paper_table1_rows():
+    rows = paper_table1()
+    assert len(rows) == 3
+    assert {r["dataset"] for r in rows} == {"urand", "kron", "friendster"}
+    urand_row = next(r for r in rows if r["dataset"] == "urand")
+    assert urand_row["edges"] == pytest.approx(4.4e9)

@@ -1,0 +1,92 @@
+"""Padded CSR layout: geometry, trace rewriting, trade-off invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import run_algorithm
+from repro.errors import GraphFormatError
+from repro.graph.formats import (
+    padded_layout,
+    padded_trace,
+    padding_tradeoff,
+)
+from repro.memsim.raf import direct_access_amplification
+
+
+class TestPaddedLayout:
+    def test_starts_are_aligned(self, urand_small):
+        layout = padded_layout(urand_small, 256)
+        assert np.all(layout.starts % 256 == 0)
+
+    def test_sublists_do_not_overlap(self, urand_small):
+        layout = padded_layout(urand_small, 64)
+        lengths = urand_small.degrees * 8
+        ends = layout.starts + lengths
+        assert np.all(ends[:-1] <= layout.starts[1:])
+        assert layout.total_bytes >= ends.max()
+
+    def test_alignment_one_is_identity_size(self, urand_small):
+        layout = padded_layout(urand_small, 1)
+        assert layout.total_bytes == urand_small.edge_list_bytes
+        assert layout.storage_overhead == pytest.approx(1.0)
+
+    def test_overhead_grows_with_alignment(self, urand_small):
+        overheads = [
+            padded_layout(urand_small, a).storage_overhead
+            for a in (16, 256, 4096)
+        ]
+        assert overheads == sorted(overheads)
+        assert overheads[-1] > 4  # 128 B sublists padded to 4 kB
+
+    def test_validation(self, urand_small):
+        with pytest.raises(GraphFormatError):
+            padded_layout(urand_small, 0)
+
+
+class TestPaddedTrace:
+    def test_useful_bytes_preserved(self, urand_small, bfs_trace):
+        layout = padded_layout(urand_small, 256)
+        rewritten = padded_trace(bfs_trace, urand_small, layout)
+        assert rewritten.useful_bytes == bfs_trace.useful_bytes
+        assert rewritten.num_steps == bfs_trace.num_steps
+
+    def test_offsets_follow_layout(self, urand_small, bfs_trace):
+        layout = padded_layout(urand_small, 256)
+        rewritten = padded_trace(bfs_trace, urand_small, layout)
+        step = rewritten.steps[1]
+        assert np.array_equal(step.starts, layout.starts[step.vertices])
+
+    def test_layout_graph_mismatch_rejected(self, urand_small, bfs_trace):
+        from repro.graph.generators import path_graph
+
+        layout = padded_layout(path_graph(5), 256)
+        with pytest.raises(GraphFormatError, match="does not match"):
+            padded_trace(bfs_trace, urand_small, layout)
+
+
+class TestTradeoffInvariants:
+    def test_padded_raf_equals_storage_overhead_for_full_coverage(
+        self, urand_small, bfs_trace
+    ):
+        """When a connected traversal reads every sublist once, padded
+        direct-access RAF IS the storage overhead — the format turns
+        amplification into capacity, byte for byte."""
+        layout = padded_layout(urand_small, 256)
+        rewritten = padded_trace(bfs_trace, urand_small, layout)
+        result = direct_access_amplification(rewritten, 256, max_transfer=2048)
+        assert result.raf == pytest.approx(layout.storage_overhead, rel=1e-6)
+
+    def test_padding_never_hurts_direct_access(self, urand_small, bfs_trace):
+        rows = padding_tradeoff(bfs_trace, urand_small, alignments=(16, 64, 256))
+        for row in rows:
+            assert row["raf_padded"] <= row["raf_natural"] + 1e-9
+            assert row["raf_saving"] >= 1.0
+
+    def test_sweet_spot_is_mid_alignment(self, urand_paper, paper_bfs_trace):
+        """Savings peak near the sublist scale and vanish far above it."""
+        rows = padding_tradeoff(
+            paper_bfs_trace, urand_paper, alignments=(16, 256, 4096)
+        )
+        savings = {r["alignment_B"]: r["raf_saving"] for r in rows}
+        assert savings[256] > savings[16]
+        assert savings[256] > savings[4096]

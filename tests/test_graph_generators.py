@@ -1,0 +1,132 @@
+"""Synthetic graph generators: structure, determinism, parameter checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphGenerationError
+from repro.graph.generators import (
+    chung_lu_graph,
+    complete_graph,
+    grid_graph,
+    kronecker_graph,
+    path_graph,
+    star_graph,
+    uniform_random_graph,
+)
+
+
+class TestUniformRandom:
+    def test_vertex_count(self):
+        assert uniform_random_graph(8, 4.0, seed=0).num_vertices == 256
+
+    def test_average_degree_near_target(self):
+        g = uniform_random_graph(12, 16.0, seed=0)
+        assert g.average_degree(exclude_isolated=False) == pytest.approx(16.0, rel=0.1)
+
+    def test_symmetric_by_default(self):
+        g = uniform_random_graph(6, 4.0, seed=1)
+        edges = set(g.iter_edges())
+        assert all((v, u) in edges for u, v in edges)
+
+    def test_no_self_loops_or_duplicates(self):
+        g = uniform_random_graph(6, 8.0, seed=2)
+        edges = list(g.iter_edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_deterministic_per_seed(self):
+        a = uniform_random_graph(8, 4.0, seed=5)
+        b = uniform_random_graph(8, 4.0, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_graph(8, 4.0, seed=5)
+        b = uniform_random_graph(8, 4.0, seed=6)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(GraphGenerationError, match="scale"):
+            uniform_random_graph(0, 4.0)
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(GraphGenerationError, match="degree"):
+            uniform_random_graph(8, -1.0)
+
+
+class TestKronecker:
+    def test_vertex_count(self):
+        assert kronecker_graph(9, 8.0, seed=0).num_vertices == 512
+
+    def test_heavier_tail_than_urand(self):
+        """R-MAT's signature: max degree far above the mean."""
+        kron = kronecker_graph(12, 16.0, seed=0)
+        urand = uniform_random_graph(12, 16.0, seed=0)
+        assert kron.degrees.max() > 4 * urand.degrees.max()
+
+    def test_has_isolated_vertices(self):
+        """Large R-MAT graphs leave many vertices isolated (Table 1 note)."""
+        g = kronecker_graph(12, 16.0, seed=0)
+        assert (g.degrees == 0).sum() > 0
+
+    def test_probability_validation(self):
+        with pytest.raises(GraphGenerationError, match="distribution"):
+            kronecker_graph(8, 8.0, a=0.9, b=0.9, c=0.9)
+
+    def test_deterministic_per_seed(self):
+        a = kronecker_graph(8, 8.0, seed=3)
+        b = kronecker_graph(8, 8.0, seed=3)
+        assert np.array_equal(a.indptr, b.indptr)
+
+
+class TestChungLu:
+    def test_average_degree_near_target(self):
+        g = chung_lu_graph(12, 32.0, seed=0)
+        assert g.average_degree(exclude_isolated=False) == pytest.approx(32.0, rel=0.15)
+
+    def test_power_law_tail(self):
+        g = chung_lu_graph(12, 32.0, seed=0)
+        deg = g.degrees[g.degrees > 0]
+        assert np.percentile(deg, 99) > 3 * np.median(deg)
+
+    def test_exponent_validation(self):
+        with pytest.raises(GraphGenerationError, match="exponent"):
+            chung_lu_graph(8, 8.0, exponent=0.5)
+
+
+class TestToyGraphs:
+    def test_path_structure(self):
+        g = path_graph(4)
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]
+
+    def test_directed_path(self):
+        g = path_graph(3, directed=True)
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_star_hub_degree(self):
+        g = star_graph(50)
+        assert g.degrees[0] == 49
+        assert np.all(g.degrees[1:] == 1)
+
+    def test_complete_graph_degrees(self):
+        g = complete_graph(5)
+        assert np.all(g.degrees == 4)
+        assert g.num_edges == 20
+
+    def test_grid_degrees(self):
+        g = grid_graph(3, 3)
+        # Corners 2, edges 3, center 4.
+        assert sorted(g.degrees.tolist()) == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_single_vertex_cases(self):
+        assert path_graph(1).num_edges == 0
+        assert star_graph(1).num_edges == 0
+        assert grid_graph(1, 1).num_edges == 0
+
+    @pytest.mark.parametrize("fn", [path_graph, star_graph, complete_graph])
+    def test_zero_vertices_rejected(self, fn):
+        with pytest.raises(GraphGenerationError):
+            fn(0)
+
+    def test_grid_bad_dims_rejected(self):
+        with pytest.raises(GraphGenerationError):
+            grid_graph(0, 3)

@@ -1,0 +1,79 @@
+"""Graph persistence: npz round trips and edge-list parsing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import format_edge_list, load_graph, parse_edge_list, save_graph
+
+
+def test_save_load_roundtrip(tmp_path, urand_small):
+    path = tmp_path / "g.npz"
+    save_graph(urand_small, path)
+    loaded = load_graph(path)
+    assert loaded.name == urand_small.name
+    assert np.array_equal(loaded.indptr, urand_small.indptr)
+    assert np.array_equal(loaded.indices, urand_small.indices)
+    assert loaded.weights is None
+
+
+def test_save_load_preserves_weights(tmp_path, weighted_small):
+    path = tmp_path / "g.npz"
+    save_graph(weighted_small, path)
+    loaded = load_graph(path)
+    assert np.array_equal(loaded.weights, weighted_small.weights)
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, foo=np.arange(3))
+    with pytest.raises(GraphFormatError, match="not a repro graph file"):
+        load_graph(path)
+
+
+def test_parse_edge_list_basic():
+    g = parse_edge_list("0 1\n1 2\n# comment\n\n2 0\n")
+    assert g.num_vertices == 3
+    assert sorted(g.iter_edges()) == [(0, 1), (1, 2), (2, 0)]
+
+
+def test_parse_edge_list_weighted():
+    g = parse_edge_list("0 1 2.5\n1 0 3.5\n")
+    assert g.is_weighted
+    assert g.edge_weights(0).tolist() == [2.5]
+
+
+def test_parse_edge_list_symmetrize():
+    g = parse_edge_list("0 1\n", symmetrize=True)
+    assert sorted(g.iter_edges()) == [(0, 1), (1, 0)]
+
+
+def test_parse_rejects_mixed_weighting():
+    with pytest.raises(GraphFormatError, match="mixed"):
+        parse_edge_list("0 1 2.0\n1 2\n")
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(GraphFormatError, match="expected"):
+        parse_edge_list("0 1 2 3\n")
+    with pytest.raises(GraphFormatError, match="bad vertex"):
+        parse_edge_list("a b\n")
+    with pytest.raises(GraphFormatError, match="bad weight"):
+        parse_edge_list("0 1 xyz\n")
+
+
+def test_parse_respects_num_vertices():
+    g = parse_edge_list("0 1\n", num_vertices=5)
+    assert g.num_vertices == 5
+
+
+def test_format_parse_roundtrip(tiny_graph):
+    text = format_edge_list(tiny_graph)
+    parsed = parse_edge_list(text, num_vertices=tiny_graph.num_vertices)
+    assert sorted(parsed.iter_edges()) == sorted(tiny_graph.iter_edges())
+
+
+def test_format_includes_weights(weighted_small):
+    text = format_edge_list(weighted_small)
+    parsed = parse_edge_list(text, num_vertices=weighted_small.num_vertices)
+    assert parsed.is_weighted

@@ -1,0 +1,103 @@
+"""Striped device layout: mapping, splitting, balance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.graph.partition import StripedLayout, stripe_layout
+
+
+def test_device_of_round_robin():
+    layout = StripedLayout(num_devices=4, stripe_bytes=100)
+    offsets = np.array([0, 99, 100, 250, 399, 400])
+    assert layout.device_of(offsets).tolist() == [0, 0, 1, 2, 3, 0]
+
+
+def test_device_of_rejects_negative_offsets():
+    layout = StripedLayout(2, 10)
+    with pytest.raises(DeviceError, match="non-negative"):
+        layout.device_of(np.array([-1]))
+
+
+def test_invalid_configuration():
+    with pytest.raises(DeviceError):
+        StripedLayout(0, 10)
+    with pytest.raises(DeviceError):
+        StripedLayout(2, 0)
+
+
+class TestSplitRequests:
+    def test_within_unit_not_split(self):
+        layout = StripedLayout(2, 100)
+        dev, starts, lengths = layout.split_requests(
+            np.array([10]), np.array([50])
+        )
+        assert dev.tolist() == [0]
+        assert starts.tolist() == [10]
+        assert lengths.tolist() == [50]
+
+    def test_split_at_boundary(self):
+        layout = StripedLayout(2, 100)
+        dev, starts, lengths = layout.split_requests(np.array([50]), np.array([100]))
+        assert dev.tolist() == [0, 1]
+        assert starts.tolist() == [50, 100]
+        assert lengths.tolist() == [50, 50]
+
+    def test_spanning_many_units(self):
+        layout = StripedLayout(3, 10)
+        dev, starts, lengths = layout.split_requests(np.array([5]), np.array([30]))
+        assert lengths.sum() == 30
+        assert dev.tolist() == [0, 1, 2, 0]
+        assert starts.tolist() == [5, 10, 20, 30]
+
+    def test_zero_length_requests_dropped(self):
+        layout = StripedLayout(2, 10)
+        dev, starts, lengths = layout.split_requests(
+            np.array([0, 5]), np.array([0, 3])
+        )
+        assert dev.size == 1
+        assert lengths.tolist() == [3]
+
+    def test_empty_input(self):
+        layout = StripedLayout(2, 10)
+        dev, starts, lengths = layout.split_requests(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert dev.size == starts.size == lengths.size == 0
+
+    def test_bytes_conserved_random(self):
+        rng = np.random.default_rng(0)
+        layout = StripedLayout(5, 64)
+        starts = rng.integers(0, 10_000, 200)
+        lengths = rng.integers(0, 500, 200)
+        _, _, sub_lengths = layout.split_requests(starts, lengths)
+        assert sub_lengths.sum() == lengths.sum()
+
+    def test_mismatched_shapes_rejected(self):
+        layout = StripedLayout(2, 10)
+        with pytest.raises(DeviceError, match="same shape"):
+            layout.split_requests(np.array([0, 1]), np.array([5]))
+
+
+class TestPerDeviceLoad:
+    def test_uniform_coverage_balances(self):
+        """Covering the whole space evenly loads all devices equally."""
+        layout = StripedLayout(4, 16)
+        starts = np.arange(0, 1024, 16)
+        lengths = np.full(starts.size, 16)
+        counts, load = layout.per_device_load(starts, lengths)
+        assert np.all(counts == counts[0])
+        assert np.all(load == load[0])
+
+    def test_hot_region_imbalances(self):
+        """All traffic inside one stripe unit lands on one device."""
+        layout = StripedLayout(4, 1000)
+        counts, load = layout.per_device_load(np.array([0, 10]), np.array([5, 5]))
+        assert counts.tolist() == [2, 0, 0, 0]
+        assert load.tolist() == [10, 0, 0, 0]
+
+
+def test_stripe_layout_helper():
+    layout = stripe_layout(3, 128)
+    assert layout.num_devices == 3
+    assert layout.stripe_bytes == 128

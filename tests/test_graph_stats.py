@@ -1,0 +1,68 @@
+"""Graph statistics: Table 1 columns and degree summaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import VERTEX_ID_BYTES
+from repro.graph.builder import build_csr
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import degree_histogram, graph_stats, table1_row
+
+
+def make_graph():
+    """Degrees [3, 1, 0]: avg over non-isolated = 2."""
+    return build_csr(
+        np.array([0, 0, 0, 1]), np.array([1, 2, 1, 0]), num_vertices=3, name="s"
+    )
+
+
+def test_counts():
+    s = graph_stats(make_graph())
+    assert s.num_vertices == 3
+    assert s.num_edges == 4
+    assert s.edge_list_bytes == 4 * VERTEX_ID_BYTES
+
+
+def test_avg_degree_excludes_isolated():
+    s = graph_stats(make_graph())
+    assert s.avg_degree == pytest.approx(2.0)
+    assert s.avg_sublist_bytes == pytest.approx(2.0 * VERTEX_ID_BYTES)
+
+
+def test_extremes():
+    s = graph_stats(make_graph())
+    assert s.max_degree == 3
+    assert s.isolated_vertices == 1
+    assert s.median_degree == pytest.approx(2.0)
+
+
+def test_empty_graph_stats():
+    g = CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+    s = graph_stats(g)
+    assert s.avg_degree == 0.0
+    assert s.max_degree == 0
+    assert s.isolated_vertices == 1
+
+
+def test_as_dict_keys():
+    d = graph_stats(make_graph()).as_dict()
+    assert {"dataset", "vertices", "edges", "avg_degree", "sublist_bytes"} <= set(d)
+
+
+def test_table1_row_units():
+    row = table1_row(make_graph())
+    assert row["edge_list_gb"] == pytest.approx(4 * VERTEX_ID_BYTES / 1e9)
+    assert row["dataset"] == "s"
+
+
+def test_degree_histogram_counts_all_nonzero_vertices(urand_small):
+    edges, counts = degree_histogram(urand_small)
+    nonzero = (urand_small.degrees > 0).sum()
+    assert counts.sum() == nonzero
+    assert edges.size == counts.size + 1
+
+
+def test_degree_histogram_empty():
+    g = CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+    _, counts = degree_histogram(g)
+    assert counts.size == 0

@@ -1,0 +1,131 @@
+"""CXL protocol accounting and system topology."""
+
+import numpy as np
+import pytest
+
+from repro.config import CXL_BASE_ADDED_LATENCY, HOST_DRAM_GPU_LATENCY
+from repro.errors import ConfigError, ModelError
+from repro.interconnect.cxl_proto import (
+    check_tag_budget,
+    device_side_bytes,
+    flits_per_request,
+    gpu_visible_outstanding,
+    split_into_flits,
+)
+from repro.interconnect.topology import (
+    DeviceAttachment,
+    SystemTopology,
+    paper_topology,
+)
+from repro.units import USEC
+
+
+class TestFlits:
+    def test_scalar_sizes(self):
+        assert flits_per_request(32) == 1
+        assert flits_per_request(64) == 1
+        assert flits_per_request(96) == 2
+        assert flits_per_request(128) == 2
+
+    def test_array_sizes(self):
+        sizes = np.array([32, 64, 96, 128, 200])
+        assert flits_per_request(sizes).tolist() == [1, 1, 2, 2, 4]
+
+    def test_zero_is_zero(self):
+        assert flits_per_request(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            flits_per_request(-1)
+        with pytest.raises(ModelError):
+            flits_per_request(np.array([-1]))
+
+    def test_device_side_bytes_round_up(self):
+        assert device_side_bytes(32) == 64
+        assert device_side_bytes(np.array([96, 128])).tolist() == [128, 128]
+
+    def test_split_into_flits_alignment(self):
+        starts, lengths = split_into_flits(np.array([100]), np.array([50]))
+        # Bytes [100, 150) span flits [64, 128) and [128, 192).
+        assert starts.tolist() == [64, 128]
+        assert np.all(lengths == 64)
+
+
+class TestTagBudget:
+    def test_section_4_2_2_computation(self):
+        """128 tags / 2 flits per 128 B GPU read = 64 visible requests."""
+        assert gpu_visible_outstanding(128, 128) == 64
+
+    def test_small_requests_keep_full_budget(self):
+        assert gpu_visible_outstanding(128, 64) == 128
+
+    def test_at_least_one(self):
+        assert gpu_visible_outstanding(1, 4096) == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            gpu_visible_outstanding(0, 128)
+        with pytest.raises(ModelError):
+            gpu_visible_outstanding(128, 0)
+
+    def test_check_tag_budget_spec_limit(self):
+        check_tag_budget(65_536)
+        with pytest.raises(ModelError, match="device_tags"):
+            check_tag_budget(65_537)
+        with pytest.raises(ModelError):
+            check_tag_budget(0)
+
+
+class TestTopology:
+    def test_paper_topology_layout(self):
+        topo = paper_topology()
+        assert topo.socket_hops("dram1") == 0
+        assert topo.socket_hops("dram0") == 1
+        assert topo.socket_hops("cxl3") == 0
+        for i in (0, 1, 2, 4):
+            assert topo.socket_hops(f"cxl{i}") == 1
+
+    def test_figure9_latencies(self):
+        """DRAM1 ~1.2 us, CXL3 ~1.7 us; remote counterparts slightly more."""
+        topo = paper_topology()
+        assert topo.path_latency("dram1") == pytest.approx(HOST_DRAM_GPU_LATENCY)
+        assert topo.path_latency("cxl3", CXL_BASE_ADDED_LATENCY) == pytest.approx(
+            1.7 * USEC
+        )
+        assert topo.path_latency("dram0") > topo.path_latency("dram1")
+        assert topo.path_latency("cxl0", CXL_BASE_ADDED_LATENCY) > topo.path_latency(
+            "cxl3", CXL_BASE_ADDED_LATENCY
+        )
+
+    def test_added_latency_is_additive(self):
+        topo = paper_topology()
+        base = topo.path_latency("cxl3", CXL_BASE_ADDED_LATENCY)
+        plus2 = topo.path_latency("cxl3", CXL_BASE_ADDED_LATENCY + 2 * USEC)
+        assert plus2 - base == pytest.approx(2 * USEC)
+
+    def test_attach_duplicate_rejected(self):
+        topo = SystemTopology()
+        topo.attach("x", 0)
+        with pytest.raises(ConfigError, match="already attached"):
+            topo.attach("x", 1)
+
+    def test_attach_bad_socket_rejected(self):
+        with pytest.raises(ConfigError, match="socket"):
+            SystemTopology(num_sockets=2).attach("x", 5)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigError, match="unknown device"):
+            SystemTopology().socket_hops("nope")
+
+    def test_negative_added_latency_rejected(self):
+        topo = paper_topology()
+        with pytest.raises(ConfigError):
+            topo.path_latency("dram1", -1e-6)
+
+    def test_gpu_socket_validation(self):
+        with pytest.raises(ConfigError, match="gpu_socket"):
+            SystemTopology(num_sockets=2, gpu_socket=5)
+
+    def test_attachment_validation(self):
+        with pytest.raises(ConfigError):
+            DeviceAttachment(name="x", socket=-1)

@@ -1,0 +1,75 @@
+"""PCIe link model: generation constants and Little's-law cap."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interconnect.pcie import (
+    PCIE_GEN3,
+    PCIE_GEN4,
+    PCIE_GEN5,
+    PCIeGeneration,
+    PCIeLink,
+)
+from repro.units import MB_PER_S, USEC
+
+
+class TestGenerationConstants:
+    def test_gen4_matches_section_3_2(self):
+        link = PCIeLink(PCIE_GEN4)
+        assert link.effective_bandwidth == pytest.approx(24_000 * MB_PER_S)
+        assert link.theoretical_bandwidth == pytest.approx(31_500 * MB_PER_S)
+        assert link.max_outstanding_reads == 768
+
+    def test_gen3_matches_section_4_2_2(self):
+        link = PCIeLink(PCIE_GEN3)
+        assert link.effective_bandwidth == pytest.approx(12_000 * MB_PER_S)
+        assert link.max_outstanding_reads == 256
+
+    def test_gen5_doubles_gen4_bandwidth(self):
+        assert PCIE_GEN5.effective_x16_bandwidth == pytest.approx(
+            2 * PCIE_GEN4.effective_x16_bandwidth
+        )
+        assert PCIE_GEN5.max_outstanding_reads == 768
+
+    def test_effective_below_theoretical(self):
+        for gen in (PCIE_GEN3, PCIE_GEN4, PCIE_GEN5):
+            assert gen.effective_x16_bandwidth < gen.theoretical_x16_bandwidth
+
+
+class TestLink:
+    def test_from_name(self):
+        assert PCIeLink.from_name("gen4").generation is PCIE_GEN4
+        assert PCIeLink.from_name("GEN3").generation is PCIE_GEN3
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ConfigError, match="unknown PCIe"):
+            PCIeLink.from_name("gen7")
+
+    def test_lane_scaling(self):
+        x4 = PCIeLink(PCIE_GEN4, lanes=4)
+        assert x4.effective_bandwidth == pytest.approx(6_000 * MB_PER_S)
+        # Tag limit is protocol-level, not lane-level.
+        assert x4.max_outstanding_reads == 768
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ConfigError, match="lane"):
+            PCIeLink(PCIE_GEN4, lanes=3)
+
+    def test_little_throughput_section_3_3_1(self):
+        """(768 / 1.2 us) * 89.6 B = 57,344 MB/s (the paper's number)."""
+        link = PCIeLink(PCIE_GEN4)
+        cap = link.little_throughput(89.6, 1.2 * USEC)
+        assert cap == pytest.approx(57_344 * MB_PER_S, rel=1e-3)
+
+    def test_little_throughput_needs_positive_latency(self):
+        with pytest.raises(ConfigError, match="latency"):
+            PCIeLink(PCIE_GEN4).little_throughput(64, 0.0)
+
+    def test_describe_mentions_generation(self):
+        assert "gen4" in PCIeLink(PCIE_GEN4).describe()
+
+    def test_invalid_generation_constants_rejected(self):
+        with pytest.raises(ConfigError, match="effective"):
+            PCIeGeneration("bad", 1.0, 2.0, 16)
+        with pytest.raises(ConfigError, match="outstanding"):
+            PCIeGeneration("bad", 2.0, 1.0, 0)

@@ -1,0 +1,92 @@
+"""Working-set and reuse-distance analytics."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import LRUCache
+from repro.memsim.working_set import (
+    reuse_distances,
+    step_working_sets,
+    working_set_summary,
+)
+from repro.traversal.trace import AccessTrace, TraceStep
+
+
+def make_trace(step_blocks, block_bytes=64):
+    """Build a trace whose block streams at `block_bytes` alignment are
+    exactly the given per-step block-id lists."""
+    trace = AccessTrace(algorithm="t", graph_name="t", edge_list_bytes=10**9)
+    for blocks in step_blocks:
+        blocks = np.asarray(blocks, dtype=np.int64)
+        trace.append(
+            TraceStep(
+                np.arange(blocks.size),
+                blocks * block_bytes,
+                np.full(blocks.size, block_bytes),
+            )
+        )
+    return trace
+
+
+class TestReuseDistances:
+    def test_no_reuse_means_no_distances(self):
+        trace = make_trace([[0, 1, 2]])
+        assert reuse_distances(trace, 64).size == 0
+
+    def test_immediate_reuse_distance_zero(self):
+        trace = make_trace([[5, 5]])
+        assert reuse_distances(trace, 64).tolist() == [0]
+
+    def test_classic_stack_distances(self):
+        # Stream: a b c a -> reuse of a has 2 distinct blocks (b, c) between.
+        trace = make_trace([[0, 1, 2, 0]])
+        assert reuse_distances(trace, 64).tolist() == [2]
+
+    def test_distances_span_steps(self):
+        trace = make_trace([[0, 1], [0]])
+        assert reuse_distances(trace, 64).tolist() == [1]
+
+    def test_repeated_block_counts_latest_reference(self):
+        # a b a b: both reuses have distance 1.
+        trace = make_trace([[0, 1, 0, 1]])
+        assert reuse_distances(trace, 64).tolist() == [1, 1]
+
+    def test_lru_consistency(self):
+        """A cache with capacity > max reuse distance has only cold misses."""
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 20, 300)
+        trace = make_trace([stream])
+        distances = reuse_distances(trace, 64)
+        capacity = int(distances.max()) + 1
+        cache = LRUCache(capacity_blocks=capacity)
+        misses = cache.access(stream * 64 // 64)
+        assert misses == np.unique(stream).size
+
+
+class TestStepWorkingSets:
+    def test_distinct_blocks_per_step(self):
+        trace = make_trace([[0, 0, 1], [2]])
+        assert step_working_sets(trace, 64).tolist() == [2, 1]
+
+    def test_alignment_changes_working_set(self, bfs_trace):
+        small = step_working_sets(bfs_trace, 16)
+        large = step_working_sets(bfs_trace, 4096)
+        assert small.sum() > large.sum()
+
+
+class TestSummary:
+    def test_counts(self):
+        trace = make_trace([[0, 1, 0], [1, 2]])
+        summary = working_set_summary(trace, 64)
+        assert summary.total_distinct_blocks == 3
+        assert summary.max_step_blocks == 2
+        assert summary.reuse_fraction == pytest.approx(2 / 5)
+        assert summary.total_distinct_bytes == 3 * 64
+
+    def test_bfs_trace_footprint_matches_edge_list(self, urand_small, bfs_trace):
+        """BFS touches (almost) the whole edge list once: the distinct
+        footprint approximates the edge list size."""
+        summary = working_set_summary(bfs_trace, 64)
+        assert summary.total_distinct_bytes == pytest.approx(
+            urand_small.edge_list_bytes, rel=0.1
+        )

@@ -1,0 +1,120 @@
+"""Write-workload model: traces, CXL RMW traffic, flash GC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, TraceError
+from repro.memsim.writes import (
+    cxl_write_traffic,
+    flash_write_traffic,
+    gc_write_amplification,
+    writeback_trace,
+)
+
+
+def make_writes(frontiers, n=1024, bpv=8):
+    return writeback_trace(
+        [np.asarray(f, dtype=np.int64) for f in frontiers],
+        num_vertices=n,
+        bytes_per_vertex=bpv,
+    )
+
+
+class TestWritebackTrace:
+    def test_offsets_are_vertex_indexed(self):
+        trace = make_writes([[3, 10]])
+        step = trace.steps[0]
+        assert step.starts.tolist() == [24, 80]
+        assert step.lengths.tolist() == [8, 8]
+
+    def test_total_bytes(self):
+        trace = make_writes([[0, 1], [2]])
+        assert trace.useful_bytes == 24
+
+    def test_bounds_checked(self):
+        with pytest.raises(TraceError):
+            make_writes([[2000]])
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            writeback_trace([], num_vertices=0)
+        with pytest.raises(ModelError):
+            writeback_trace([], num_vertices=10, bytes_per_vertex=0)
+
+
+class TestCXLWriteTraffic:
+    def test_full_line_write_no_rmw(self):
+        # Vertices 0..7 cover one full 64 B line (8 x 8 B).
+        traffic = cxl_write_traffic(make_writes([list(range(8))]))
+        assert traffic.written_bytes == 64
+        assert traffic.read_bytes == 0
+        assert traffic.write_amplification == pytest.approx(1.0)
+
+    def test_partial_line_pays_rmw_read(self):
+        traffic = cxl_write_traffic(make_writes([[0]]))
+        assert traffic.written_bytes == 64
+        assert traffic.read_bytes == 64
+        assert traffic.write_amplification == pytest.approx(8.0)
+        assert traffic.total_bytes == 128
+
+    def test_scattered_writes_amplify_most(self):
+        # 8 writes to 8 different lines vs 8 writes to one line.
+        scattered = cxl_write_traffic(make_writes([[i * 8 for i in range(8)]]))
+        dense = cxl_write_traffic(make_writes([list(range(8))]))
+        assert scattered.written_bytes == 8 * dense.written_bytes
+        assert scattered.user_bytes == dense.user_bytes
+
+    def test_lines_merge_within_step_not_across(self):
+        within = cxl_write_traffic(make_writes([[0, 1]]))
+        across = cxl_write_traffic(make_writes([[0], [1]]))
+        assert within.written_bytes == 64
+        assert across.written_bytes == 128
+
+
+class TestFlashWrites:
+    def test_gc_waf_formula(self):
+        assert gc_write_amplification(0.07) == pytest.approx(7.64, abs=0.01)
+        assert gc_write_amplification(0.28) == pytest.approx(2.286, abs=0.01)
+        assert gc_write_amplification(0.5) == pytest.approx(1.5)
+
+    def test_gc_waf_validation(self):
+        with pytest.raises(ModelError):
+            gc_write_amplification(0.0)
+        with pytest.raises(ModelError):
+            gc_write_amplification(1.0)
+
+    def test_page_rmw_and_gc_compound(self):
+        # A lone 8 B write rewrites a whole 4 kB page, times GC WAF.
+        traffic = flash_write_traffic(make_writes([[0]]), overprovisioning=0.28)
+        assert traffic.read_bytes == 4096
+        assert traffic.written_bytes == pytest.approx(
+            4096 * gc_write_amplification(0.28), rel=1e-4
+        )
+
+    def test_flash_worse_than_cxl_dram_for_scattered_writes(self):
+        """Section 5's warning, quantified: scattered property writes are
+        far more expensive on flash than on CXL DRAM."""
+        rng = np.random.default_rng(0)
+        frontiers = [rng.choice(1024, size=100, replace=False) for _ in range(4)]
+        trace = make_writes(frontiers)
+        flash = flash_write_traffic(trace)
+        cxl = cxl_write_traffic(trace)
+        assert flash.write_amplification > 10 * cxl.write_amplification
+
+    def test_dense_sequential_writes_are_benign(self):
+        # Writing the whole property array in order: page padding ~1.
+        trace = make_writes([list(range(1024))])
+        traffic = flash_write_traffic(trace, overprovisioning=0.28)
+        pages = 1024 * 8 // 4096
+        assert traffic.read_bytes == pages * 4096
+        assert traffic.written_bytes / traffic.user_bytes == pytest.approx(
+            gc_write_amplification(0.28), rel=1e-4  # int() truncation slack
+        )
+
+
+class TestTrafficDataclass:
+    def test_zero_user_bytes(self):
+        trace = make_writes([[]])
+        traffic = cxl_write_traffic(trace)
+        assert traffic.write_amplification == 0.0
+        assert traffic.total_bytes == 0

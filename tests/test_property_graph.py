@@ -1,0 +1,115 @@
+"""Property-based tests: graph construction and traversal invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import build_csr
+from repro.traversal.bfs import bfs, bfs_reference
+from repro.traversal.cc import cc_reference, connected_components
+from repro.traversal.sssp import sssp_bellman_ford, sssp_reference
+
+
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_build_csr_preserves_edge_multiset(data):
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n)
+    assert graph.num_edges == src.size
+    expected = sorted(zip(src.tolist(), dst.tolist()))
+    assert sorted(graph.iter_edges()) == expected
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degrees_sum_to_edges(data):
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n)
+    assert graph.degrees.sum() == graph.num_edges
+    assert graph.indptr[-1] == graph.num_edges
+
+
+@given(edge_lists(), st.integers(0, 1_000_000))
+@settings(max_examples=60, deadline=None)
+def test_bfs_matches_reference(data, source_seed):
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n)
+    source = source_seed % n
+    assert np.array_equal(bfs(graph, source).depths, bfs_reference(graph, source))
+
+
+@given(edge_lists(), st.integers(0, 1_000_000))
+@settings(max_examples=60, deadline=None)
+def test_bfs_depth_is_parent_plus_one(data, source_seed):
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n)
+    source = source_seed % n
+    result = bfs(graph, source)
+    for v in range(n):
+        if result.depths[v] > 0:
+            assert result.depths[result.parents[v]] == result.depths[v] - 1
+
+
+@given(edge_lists(), st.integers(0, 1_000_000), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sssp_matches_dijkstra(data, source_seed, weight_seed):
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n).with_uniform_random_weights(
+        seed=weight_seed
+    )
+    source = source_seed % n
+    assert np.allclose(
+        sssp_bellman_ford(graph, source).distances,
+        sssp_reference(graph, source),
+    )
+
+
+@given(edge_lists(), st.integers(0, 1_000_000))
+@settings(max_examples=40, deadline=None)
+def test_sssp_lower_bounded_by_bfs_times_min_weight(data, source_seed):
+    """dist(v) >= min_weight * bfs_depth(v): SSSP can't beat hop count."""
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n).with_uniform_random_weights(
+        low=2.0, high=5.0, seed=1
+    )
+    source = source_seed % n
+    depths = bfs(graph, source).depths
+    distances = sssp_bellman_ford(graph, source).distances
+    reached = depths >= 0
+    assert np.all(np.isfinite(distances[reached]))
+    assert np.all(distances[reached] >= 2.0 * depths[reached] - 1e-9)
+    assert np.all(np.isinf(distances[~reached]))
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_components_match_union_find_on_symmetric_graphs(data):
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n, symmetrize=True)
+    assert np.array_equal(connected_components(graph).labels, cc_reference(graph))
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_component_labels_are_fixed_points(data):
+    """Every vertex's label equals the min label in its neighborhood."""
+    n, src, dst = data
+    graph = build_csr(src, dst, num_vertices=n, symmetrize=True)
+    labels = connected_components(graph).labels
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        if nbrs.size:
+            assert labels[v] <= labels[nbrs].min()
+            assert np.all(labels[nbrs] == labels[v])

@@ -1,0 +1,132 @@
+"""Property-based tests: performance-model invariants and DES agreement."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.equations import ThroughputModel
+from repro.sim.des import DESConfig, simulate_step
+from repro.sim.fluid import FluidParams, StepInput, step_time
+from repro.units import MB_PER_S, MIOPS, USEC
+
+
+@st.composite
+def throughput_models(draw):
+    iops = draw(st.floats(0.5, 1_000)) * MIOPS
+    latency = draw(st.floats(0.5, 50)) * USEC
+    bandwidth = draw(st.sampled_from([6_000, 12_000, 24_000, 48_000])) * MB_PER_S
+    outstanding = draw(st.sampled_from([None, 64, 256, 768]))
+    return ThroughputModel(
+        iops=iops, latency=latency, bandwidth=bandwidth, outstanding=outstanding
+    )
+
+
+@given(throughput_models(), st.floats(8, 65_536))
+@settings(max_examples=100, deadline=None)
+def test_throughput_bounded_by_each_term(model, d):
+    t = model.throughput(d)
+    tol = 1 + 1e-12  # one-ulp slack on products of large floats
+    assert t <= model.bandwidth * tol
+    assert t <= model.iops * d * tol
+    if model.outstanding is not None:
+        assert t <= model.outstanding * d / model.latency * tol
+
+
+@given(throughput_models())
+@settings(max_examples=100, deadline=None)
+def test_throughput_monotone_in_transfer_size(model):
+    ds = np.geomspace(8, 65_536, 24)
+    ts = model.throughput(ds)
+    assert np.all(np.diff(ts) >= -1e-9)
+
+
+@given(throughput_models())
+@settings(max_examples=100, deadline=None)
+def test_optimal_transfer_saturates_exactly(model):
+    d_opt = model.optimal_transfer_size()
+    assert model.saturates(d_opt)
+    # Slightly below the optimum must not saturate.
+    assert not model.saturates(d_opt * 0.99)
+
+
+@st.composite
+def fluid_cases(draw):
+    params = FluidParams(
+        link_bandwidth=draw(st.sampled_from([12_000, 24_000])) * MB_PER_S,
+        device_iops=draw(st.floats(1, 500)) * MIOPS,
+        device_internal_bandwidth=draw(st.sampled_from([5_700, 28_500, 100_000]))
+        * MB_PER_S,
+        latency=draw(st.floats(1, 20)) * USEC,
+        link_outstanding=draw(st.sampled_from([None, 256, 768])),
+        device_outstanding=draw(st.sampled_from([None, 64, 320])),
+        gpu_concurrency=2_048,
+        step_overhead=0.0,
+    )
+    requests = draw(st.integers(1, 5_000))
+    size = draw(st.sampled_from([32, 64, 96, 128, 512]))
+    return params, requests, size
+
+
+@st.composite
+def bulk_fluid_cases(draw):
+    """Operating points with enough requests that the step is genuinely
+    parallel — the regime the fluid model is built for.  (For a handful of
+    requests, serial components add rather than max; the DES captures
+    that, the fluid model deliberately does not.)"""
+    params, _, size = draw(fluid_cases())
+    requests = draw(st.integers(200, 2_000))
+    return params, requests, size
+
+
+@given(fluid_cases())
+@settings(max_examples=100, deadline=None)
+def test_fluid_time_at_least_every_bound(case):
+    params, requests, size = case
+    step = StepInput(
+        requests=requests,
+        link_bytes=requests * size,
+        device_ops=requests,
+        device_bytes=requests * size,
+    )
+    timing = step_time(step, params)
+    assert timing.time >= requests * size / params.link_bandwidth - 1e-15
+    assert timing.time >= requests / params.device_iops - 1e-15
+    assert timing.time >= params.latency - 1e-15
+
+
+@given(bulk_fluid_cases())
+@settings(max_examples=30, deadline=None)
+def test_des_within_40pct_of_fluid(case):
+    """The DES and the fluid model agree within a broad envelope across
+    randomly drawn bulk operating points (tight agreement is asserted in
+    the regime-specific tests)."""
+    params, requests, size = case
+    sizes = np.full(requests, size)
+    des = simulate_step(sizes, DESConfig.from_fluid(params))
+    fluid = step_time(
+        StepInput(
+            requests=requests,
+            link_bytes=requests * size,
+            device_ops=requests,
+            device_bytes=requests * size,
+        ),
+        params,
+    )
+    ratio = des.time / fluid.time
+    assert 0.6 <= ratio <= 1.6
+
+
+@given(
+    st.integers(1, 1_000),
+    st.sampled_from([32, 128, 4096]),
+    st.floats(1, 10),
+)
+@settings(max_examples=30, deadline=None)
+def test_des_deterministic(requests, size, latency_us):
+    config = DESConfig(
+        link_bandwidth=12_000 * MB_PER_S,
+        latency=latency_us * USEC,
+        device_iops=50 * MIOPS,
+        device_internal_bandwidth=50_000 * MB_PER_S,
+    )
+    sizes = np.full(requests, size)
+    assert simulate_step(sizes, config).time == simulate_step(sizes, config).time

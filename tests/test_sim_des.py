@@ -1,0 +1,135 @@
+"""Discrete-event simulator: request pipelines and resource limits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.des import DESConfig, simulate_step, simulate_trace
+from repro.sim.fluid import FluidParams
+from repro.units import MB_PER_S, MIOPS, USEC
+
+
+def make_config(**overrides):
+    defaults = dict(
+        link_bandwidth=24_000 * MB_PER_S,
+        latency=1.2 * USEC,
+        device_iops=100 * MIOPS,
+        device_internal_bandwidth=100_000 * MB_PER_S,
+        num_devices=1,
+        link_outstanding=768,
+        device_outstanding=None,
+        gpu_concurrency=2_048,
+        step_overhead=0.0,
+    )
+    defaults.update(overrides)
+    return DESConfig(**defaults)
+
+
+class TestSingleRequest:
+    def test_time_is_latency_plus_service(self):
+        config = make_config()
+        result = simulate_step(np.array([128]), config)
+        expected = (
+            1 / (100 * MIOPS)  # device admission
+            + 128 / (100_000 * MB_PER_S)  # media
+            + 1.2 * USEC  # latency
+            + 128 / (24_000 * MB_PER_S)  # link transfer
+        )
+        assert result.time == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_step(self):
+        result = simulate_step(np.array([], dtype=np.int64), make_config())
+        assert result.time == 0.0
+        assert result.requests == 0
+
+    def test_zero_sizes_filtered(self):
+        result = simulate_step(np.array([0, 0, 64]), make_config())
+        assert result.requests == 1
+
+
+class TestResourceLimits:
+    def test_link_tags_respected(self):
+        config = make_config(link_outstanding=8)
+        result = simulate_step(np.full(100, 64), config)
+        assert result.max_link_tags <= 8
+
+    def test_warp_limit_respected(self):
+        config = make_config(gpu_concurrency=4, link_outstanding=None)
+        result = simulate_step(np.full(50, 64), config)
+        assert result.max_warps <= 4
+
+    def test_latency_dominates_with_tiny_concurrency(self):
+        config = make_config(gpu_concurrency=1)
+        n = 20
+        result = simulate_step(np.full(n, 32), config)
+        # Fully serialized: n round trips.
+        assert result.time >= n * 1.2 * USEC
+
+    def test_bandwidth_bound_throughput(self):
+        config = make_config()
+        n, size = 5_000, 4_096
+        result = simulate_step(np.full(n, size), config)
+        # Achieved throughput within 2% of the link bandwidth.
+        achieved = n * size / result.time
+        assert achieved == pytest.approx(24_000 * MB_PER_S, rel=0.02)
+
+    def test_iops_bound_throughput(self):
+        config = make_config(device_iops=1 * MIOPS)
+        n = 2_000
+        result = simulate_step(np.full(n, 64), config)
+        assert n / result.time == pytest.approx(1 * MIOPS, rel=0.02)
+
+    def test_multi_device_scales_iops(self):
+        slow = simulate_step(
+            np.full(1_000, 64), make_config(device_iops=1 * MIOPS, num_devices=1)
+        )
+        fast = simulate_step(
+            np.full(1_000, 64), make_config(device_iops=1 * MIOPS, num_devices=4)
+        )
+        assert slow.time / fast.time == pytest.approx(4, rel=0.1)
+
+    def test_link_utilization_bounded(self):
+        result = simulate_step(np.full(500, 128), make_config())
+        assert 0.0 < result.link_utilization <= 1.0
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            make_config(link_bandwidth=0)
+        with pytest.raises(SimulationError):
+            make_config(num_devices=0)
+
+    def test_device_array_shape_checked(self):
+        with pytest.raises(SimulationError, match="shape"):
+            simulate_step(np.array([64, 64]), make_config(), devices=np.array([0]))
+
+    def test_device_index_range_checked(self):
+        with pytest.raises(SimulationError, match="range"):
+            simulate_step(np.array([64]), make_config(), devices=np.array([5]))
+
+    def test_from_fluid_divides_per_device(self):
+        params = FluidParams(
+            link_bandwidth=12_000 * MB_PER_S,
+            device_iops=10 * MIOPS,
+            device_internal_bandwidth=10_000 * MB_PER_S,
+            latency=2 * USEC,
+            device_outstanding=320,
+        )
+        config = DESConfig.from_fluid(params, num_devices=5)
+        assert config.device_iops == pytest.approx(2 * MIOPS)
+        assert config.device_outstanding == 64
+        assert config.num_devices == 5
+
+
+class TestTrace:
+    def test_steps_are_sequential_with_overhead(self):
+        config = make_config(step_overhead=10 * USEC)
+        one = simulate_step(np.full(100, 64), config, include_overhead=True)
+        trace = simulate_trace([np.full(100, 64)] * 3, config)
+        assert trace.time == pytest.approx(3 * one.time, rel=1e-6)
+        assert trace.requests == 300
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            simulate_trace([], make_config())

@@ -1,0 +1,163 @@
+"""Fluid step-time model: bound selection and arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.fluid import FluidParams, StepInput, step_time, trace_time
+from repro.units import MB_PER_S, MIOPS, USEC
+
+
+def make_params(**overrides):
+    defaults = dict(
+        link_bandwidth=24_000 * MB_PER_S,
+        device_iops=100 * MIOPS,
+        device_internal_bandwidth=100_000 * MB_PER_S,
+        latency=1.2 * USEC,
+        link_outstanding=768,
+        device_outstanding=None,
+        gpu_concurrency=2_048,
+        step_overhead=0.0,
+    )
+    defaults.update(overrides)
+    return FluidParams(**defaults)
+
+
+def make_step(requests=1000, size=128):
+    return StepInput(
+        requests=requests,
+        link_bytes=requests * size,
+        device_ops=requests,
+        device_bytes=requests * size,
+    )
+
+
+class TestStepInput:
+    def test_validation(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            StepInput(requests=-1, link_bytes=0, device_ops=0, device_bytes=0)
+        with pytest.raises(ModelError, match="zero together"):
+            StepInput(requests=1, link_bytes=0, device_ops=1, device_bytes=0)
+
+
+class TestFluidParams:
+    def test_concurrency_is_minimum_limit(self):
+        params = make_params(link_outstanding=256, device_outstanding=320)
+        assert params.concurrency == 256
+        params = make_params(link_outstanding=None, device_outstanding=64)
+        assert params.concurrency == 64
+        params = make_params(link_outstanding=None, device_outstanding=None)
+        assert params.concurrency == 2_048
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            make_params(link_bandwidth=0)
+        with pytest.raises(ModelError):
+            make_params(link_outstanding=0)
+        with pytest.raises(ModelError):
+            make_params(gpu_concurrency=0)
+        with pytest.raises(ModelError):
+            make_params(step_overhead=-1.0)
+
+
+class TestStepTime:
+    def test_bandwidth_bound(self):
+        # 24 GB over a 24 GB/s link with everything else generous.
+        params = make_params(device_iops=1e12)
+        step = StepInput(
+            requests=10**6,
+            link_bytes=24_000_000_000,
+            device_ops=10**6,
+            device_bytes=24_000_000_000,
+        )
+        timing = step_time(step, params)
+        assert timing.bound == "link-bandwidth"
+        # Drain time plus one pipeline-fill latency.
+        assert timing.time == pytest.approx(1.0 + 1.2 * USEC)
+
+    def test_iops_bound(self):
+        params = make_params(device_iops=1 * MIOPS)
+        timing = step_time(make_step(requests=100_000, size=64), params)
+        assert timing.bound == "device-iops"
+        assert timing.time == pytest.approx(0.1 + 1.2 * USEC)
+
+    def test_latency_bound(self):
+        params = make_params(latency=100 * USEC, link_outstanding=10)
+        timing = step_time(make_step(requests=1_000, size=32), params)
+        assert timing.bound == "latency"
+        # 100us + 999 * 100us / 10 ~= 10.09 ms.
+        assert timing.time == pytest.approx(100 * USEC * (1 + 999 / 10))
+
+    def test_device_bandwidth_bound(self):
+        params = make_params(device_internal_bandwidth=1 * MB_PER_S)
+        timing = step_time(make_step(requests=100, size=1000), params)
+        assert timing.bound == "device-bandwidth"
+        assert timing.time == pytest.approx(0.1 + 1.2 * USEC)
+
+    def test_single_request_pays_full_latency(self):
+        params = make_params(latency=5 * USEC)
+        timing = step_time(make_step(requests=1, size=32), params)
+        assert timing.time == pytest.approx(5 * USEC, rel=1e-2)
+
+    def test_empty_step_costs_overhead_only(self):
+        params = make_params(step_overhead=10 * USEC)
+        timing = step_time(
+            StepInput(requests=0, link_bytes=0, device_ops=0, device_bytes=0), params
+        )
+        assert timing.bound == "overhead"
+        assert timing.time == pytest.approx(10 * USEC)
+
+    def test_overhead_added_to_bound_term(self):
+        base = step_time(make_step(), make_params()).time
+        with_overhead = step_time(make_step(), make_params(step_overhead=1e-3)).time
+        assert with_overhead == pytest.approx(base + 1e-3)
+
+    def test_terms_reported(self):
+        timing = step_time(make_step(), make_params())
+        assert set(timing.terms) == {
+            "link-bandwidth",
+            "device-iops",
+            "device-bandwidth",
+            "latency",
+        }
+        assert timing.time >= max(timing.terms.values())
+
+
+class TestTraceTime:
+    def test_total_is_sum_of_steps(self):
+        params = make_params(step_overhead=1 * USEC)
+        steps = [make_step(requests=10), make_step(requests=100)]
+        timing = trace_time(steps, params)
+        assert timing.total_time == pytest.approx(timing.step_times.sum())
+        assert len(timing.step_bounds) == 2
+
+    def test_bound_histogram_and_attribution(self):
+        params = make_params(device_iops=1 * MIOPS)
+        steps = [make_step(requests=100_000, size=64)] * 3
+        timing = trace_time(steps, params)
+        assert timing.bound_histogram() == {"device-iops": 3}
+        assert timing.time_by_bound()["device-iops"] == pytest.approx(
+            timing.total_time
+        )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            trace_time([], make_params())
+
+
+class TestMonotonicity:
+    def test_time_nondecreasing_in_latency(self):
+        step = make_step(requests=50_000, size=96)
+        times = [
+            step_time(step, make_params(latency=l * USEC)).time
+            for l in (1.2, 2, 4, 8, 16)
+        ]
+        assert times == sorted(times)
+
+    def test_time_nonincreasing_in_bandwidth(self):
+        step = make_step(requests=50_000, size=96)
+        times = [
+            step_time(step, make_params(link_bandwidth=w * MB_PER_S)).time
+            for w in (6_000, 12_000, 24_000, 48_000)
+        ]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,104 @@
+"""BFS: correctness against the oracle, trace structure, Table 2 shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.graph.generators import grid_graph, path_graph, star_graph
+from repro.traversal.bfs import bfs, bfs_reference
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("source", [0, 5, 9])
+    def test_path_depths(self, path10, source):
+        result = bfs(path10, source)
+        expected = np.abs(np.arange(10) - source)
+        assert np.array_equal(result.depths, expected)
+
+    def test_star_depths(self, star50):
+        result = bfs(star50, 0)
+        assert result.depths[0] == 0
+        assert np.all(result.depths[1:] == 1)
+
+    def test_matches_reference_on_random_graphs(self, urand_small, kron_small):
+        for graph in (urand_small, kron_small):
+            for source in (0, 17):
+                assert np.array_equal(
+                    bfs(graph, source).depths, bfs_reference(graph, source)
+                )
+
+    def test_unreachable_marked_minus_one(self, tiny_graph):
+        # tiny_graph is directed; vertex 5 is isolated, and from vertex 4
+        # nothing is reachable.
+        result = bfs(tiny_graph, 0)
+        assert result.depths[5] == -1
+        assert result.depths[4] == 3
+
+    def test_parents_form_valid_tree(self, urand_small):
+        result = bfs(urand_small, 0)
+        reached = np.flatnonzero(result.depths > 0)
+        parents = result.parents[reached]
+        # Every parent is one level shallower and actually adjacent.
+        assert np.all(result.depths[parents] == result.depths[reached] - 1)
+        for v in reached[:50]:
+            assert v in urand_small.neighbors(result.parents[v])
+
+    def test_source_has_no_parent(self, urand_small):
+        assert bfs(urand_small, 3).parents[3] == -1
+
+    def test_bad_source_rejected(self, tiny_graph):
+        with pytest.raises(TraceError, match="out of range"):
+            bfs(tiny_graph, 100)
+        with pytest.raises(TraceError, match="out of range"):
+            bfs_reference(tiny_graph, -1)
+
+
+class TestResultMetadata:
+    def test_num_reached(self, urand_small):
+        result = bfs(urand_small, 0)
+        assert result.num_reached == (result.depths >= 0).sum()
+
+    def test_frontier_sizes_sum_to_reached(self, urand_small):
+        result = bfs(urand_small, 0)
+        assert sum(result.frontier_sizes) == result.num_reached
+
+    def test_max_depth_matches_frontier_count(self, grid8x8):
+        result = bfs(grid8x8, 0)
+        assert result.max_depth == len(result.frontier_sizes) - 1
+        # Grid diameter from a corner: (8-1) + (8-1) = 14.
+        assert result.max_depth == 14
+
+    def test_table2_rows(self, urand_small):
+        rows = bfs(urand_small, 0).table2_rows()
+        assert rows[0] == {"depth": 0, "vertices": 1}
+        assert all(r["vertices"] > 0 for r in rows)
+
+
+class TestTable2Shape:
+    def test_frontier_explodes_then_collapses(self, urand_small):
+        """The paper's Table 2 profile: exponential ramp, giant middle,
+        tiny tail."""
+        sizes = bfs(urand_small, 0).frontier_sizes
+        peak = max(sizes)
+        peak_idx = sizes.index(peak)
+        # Exponential ramp up to the peak.
+        for i in range(peak_idx):
+            assert sizes[i] < sizes[i + 1]
+        # The peak dominates: more than half of all reached vertices.
+        assert peak > 0.5 * sum(sizes)
+
+
+class TestTrace:
+    def test_one_step_per_depth(self, urand_small):
+        result = bfs(urand_small, 0)
+        assert result.trace.num_steps == len(result.frontier_sizes)
+
+    def test_step_frontiers_match_sizes(self, urand_small):
+        result = bfs(urand_small, 0)
+        assert result.trace.frontier_sizes == result.frontier_sizes
+
+    def test_trace_covers_reached_sublists_exactly_once(self, urand_small):
+        result = bfs(urand_small, 0)
+        all_vertices = np.concatenate([s.vertices for s in result.trace])
+        assert np.unique(all_vertices).size == all_vertices.size
+        assert all_vertices.size == result.num_reached

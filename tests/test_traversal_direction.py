@@ -1,0 +1,105 @@
+"""Direction-optimizing BFS and k-core decomposition."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.graph.generators import path_graph, star_graph, uniform_random_graph
+from repro.traversal.bfs import bfs
+from repro.traversal.bfs_direction import bfs_direction_optimizing
+from repro.traversal.kcore import core_numbers, kcore
+
+
+class TestDirectionOptimizingBFS:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_depths_match_plain_bfs(self, seed):
+        graph = uniform_random_graph(11, 16.0, seed=seed)
+        do = bfs_direction_optimizing(graph, 0)
+        assert np.array_equal(do.depths, bfs(graph, 0).depths)
+
+    def test_switches_to_bottom_up_on_dense_graphs(self, urand_small):
+        result = bfs_direction_optimizing(urand_small, 0)
+        assert result.bottom_up_steps >= 1
+        assert "top-down" in result.step_modes  # starts top-down
+
+    def test_path_graph_stays_top_down(self):
+        # Tiny frontiers never trigger the alpha switch.
+        result = bfs_direction_optimizing(path_graph(64), 0)
+        assert result.bottom_up_steps == 0
+        assert np.array_equal(result.depths, bfs(path_graph(64), 0).depths)
+
+    def test_reads_fewer_bytes_than_top_down(self, urand_small):
+        """Beamer's point: bottom-up scans stop at the first hit."""
+        do = bfs_direction_optimizing(urand_small, 0)
+        td = bfs(urand_small, 0)
+        assert do.trace.useful_bytes < 0.6 * td.trace.useful_bytes
+
+    def test_bottom_up_reads_are_sublist_prefixes(self, urand_small):
+        result = bfs_direction_optimizing(urand_small, 0)
+        for mode, step in zip(result.step_modes, result.trace):
+            if mode != "bottom-up":
+                continue
+            starts_expected = urand_small.indptr[step.vertices] * 8
+            assert np.array_equal(step.starts, starts_expected)
+            full = urand_small.degrees[step.vertices] * 8
+            assert np.all(step.lengths <= full)
+            assert np.all(step.lengths >= 0)
+
+    def test_huge_alpha_never_switches(self, urand_small):
+        result = bfs_direction_optimizing(urand_small, 0, alpha=1e9)
+        assert result.bottom_up_steps == 0
+        assert np.array_equal(result.depths, bfs(urand_small, 0).depths)
+
+    def test_star_graph(self):
+        result = bfs_direction_optimizing(star_graph(100), 0)
+        assert result.num_reached == 100
+        assert result.depths[1:].max() == 1
+
+    def test_validation(self, urand_small):
+        with pytest.raises(TraceError):
+            bfs_direction_optimizing(urand_small, -1)
+        with pytest.raises(TraceError):
+            bfs_direction_optimizing(urand_small, 0, alpha=0.0)
+
+
+class TestKCore:
+    def test_core_numbers_match_networkx(self):
+        graph = uniform_random_graph(9, 6.0, seed=3)
+        nxg = nx.Graph(list(graph.iter_edges()))
+        nxg.add_nodes_from(range(graph.num_vertices))
+        expected = nx.core_number(nxg)
+        cores = core_numbers(graph)
+        assert all(cores[v] == expected[v] for v in range(graph.num_vertices))
+
+    def test_kcore_monotone_in_k(self, urand_small):
+        sizes = [kcore(urand_small, k).core_size for k in (1, 4, 8, 16)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_k1_core_drops_isolated_only(self, kron_small):
+        result = kcore(kron_small, 1)
+        isolated = int((kron_small.degrees == 0).sum())
+        assert result.core_size == kron_small.num_vertices - isolated
+
+    def test_star_graph_2core_is_empty(self):
+        assert kcore(star_graph(20), 2).core_size == 0
+
+    def test_path_2core_is_empty(self):
+        assert kcore(path_graph(10), 2).core_size == 0
+
+    def test_trace_reads_peeled_sublists(self, urand_small):
+        result = kcore(urand_small, 8)
+        peeled = urand_small.num_vertices - result.core_size
+        assert sum(s.frontier_size for s in result.trace) == peeled
+
+    def test_huge_k_peels_everything(self, urand_small):
+        result = kcore(urand_small, 10**6)
+        assert result.core_size == 0
+
+    def test_validation(self, urand_small):
+        with pytest.raises(TraceError):
+            kcore(urand_small, 0)
+
+    def test_core_numbers_max_k_cutoff(self, urand_small):
+        limited = core_numbers(urand_small, max_k=2)
+        assert limited.max() <= 2

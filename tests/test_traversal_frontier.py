@@ -1,0 +1,80 @@
+"""Frontier conversions and the vectorized neighbor gather."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traversal.frontier import (
+    dense_to_sparse,
+    frontier_union,
+    gather_neighbors,
+    sparse_to_dense,
+)
+
+
+class TestConversions:
+    def test_sparse_dense_roundtrip(self):
+        vertices = np.array([1, 4, 7])
+        mask = sparse_to_dense(vertices, 10)
+        assert mask.sum() == 3
+        assert np.array_equal(dense_to_sparse(mask), vertices)
+
+    def test_dense_to_sparse_requires_bool(self):
+        with pytest.raises(TraceError, match="boolean"):
+            dense_to_sparse(np.array([0, 1]))
+
+    def test_sparse_to_dense_bounds_check(self):
+        with pytest.raises(TraceError, match="out-of-range"):
+            sparse_to_dense(np.array([10]), 5)
+
+    def test_union(self):
+        out = frontier_union(np.array([3, 1]), np.array([2, 3]), np.array([]))
+        assert out.tolist() == [1, 2, 3]
+
+    def test_union_of_nothing(self):
+        assert frontier_union().size == 0
+        assert frontier_union(np.array([], dtype=np.int64)).size == 0
+
+
+class TestGatherNeighbors:
+    def test_matches_per_vertex_neighbors(self, tiny_graph):
+        (neighbors,) = gather_neighbors(tiny_graph, np.array([0, 1, 3]))
+        expected = np.concatenate(
+            [tiny_graph.neighbors(v) for v in (0, 1, 3)]
+        )
+        assert np.array_equal(neighbors, expected)
+
+    def test_with_sources_repeats_frontier_vertices(self, tiny_graph):
+        neighbors, sources, edge_idx = gather_neighbors(
+            tiny_graph, np.array([0, 3]), with_sources=True
+        )
+        assert sources.tolist() == [0, 0, 3]
+        assert neighbors.tolist() == [1, 2, 4]
+        assert np.array_equal(tiny_graph.indices[edge_idx], neighbors)
+
+    def test_empty_frontier(self, tiny_graph):
+        (neighbors,) = gather_neighbors(tiny_graph, np.array([], dtype=np.int64))
+        assert neighbors.size == 0
+
+    def test_all_zero_degree_frontier(self, tiny_graph):
+        # Vertices 4 and 5 have no out-edges.
+        neighbors, sources, edge_idx = gather_neighbors(
+            tiny_graph, np.array([4, 5]), with_sources=True
+        )
+        assert neighbors.size == sources.size == edge_idx.size == 0
+
+    def test_large_graph_consistency(self, urand_small):
+        """Vectorized gather equals the per-vertex loop on a real graph."""
+        rng = np.random.default_rng(1)
+        frontier = np.unique(
+            rng.integers(0, urand_small.num_vertices, 100)
+        )
+        (neighbors,) = gather_neighbors(urand_small, frontier)
+        expected = np.concatenate(
+            [urand_small.neighbors(v) for v in frontier]
+        )
+        assert np.array_equal(neighbors, expected)
+
+    def test_duplicated_frontier_vertices_gather_twice(self, tiny_graph):
+        (neighbors,) = gather_neighbors(tiny_graph, np.array([0, 0]))
+        assert neighbors.tolist() == [1, 2, 1, 2]

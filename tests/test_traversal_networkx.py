@@ -1,0 +1,72 @@
+"""Cross-validation of traversal algorithms against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import kronecker_graph, uniform_random_graph
+from repro.traversal.bfs import bfs
+from repro.traversal.cc import connected_components
+from repro.traversal.pagerank import pagerank
+from repro.traversal.sssp import sssp_bellman_ford
+
+
+def to_networkx(graph, weighted=False):
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    if weighted:
+        src = np.repeat(np.arange(graph.num_vertices), graph.degrees)
+        nxg.add_weighted_edges_from(
+            zip(src.tolist(), graph.indices.tolist(), graph.weights.tolist())
+        )
+    else:
+        for u, v in graph.iter_edges():
+            nxg.add_edge(u, v)
+    return nxg
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(9, 6.0, seed=21)
+
+
+def test_bfs_depths_match_networkx(graph):
+    nxg = to_networkx(graph)
+    expected = nx.single_source_shortest_path_length(nxg, 0)
+    result = bfs(graph, 0)
+    for v in range(graph.num_vertices):
+        if v in expected:
+            assert result.depths[v] == expected[v]
+        else:
+            assert result.depths[v] == -1
+
+
+def test_sssp_distances_match_networkx(graph):
+    weighted = graph.with_uniform_random_weights(seed=2)
+    nxg = to_networkx(weighted, weighted=True)
+    expected = nx.single_source_dijkstra_path_length(nxg, 0)
+    result = sssp_bellman_ford(weighted, 0)
+    for v in range(weighted.num_vertices):
+        if v in expected:
+            assert result.distances[v] == pytest.approx(expected[v])
+        else:
+            assert np.isinf(result.distances[v])
+
+
+def test_components_match_networkx():
+    g = uniform_random_graph(9, 1.2, seed=5)
+    nxg = to_networkx(g).to_undirected()
+    result = connected_components(g)
+    for comp in nx.connected_components(nxg):
+        labels = {int(result.labels[v]) for v in comp}
+        assert len(labels) == 1, "one component got several labels"
+        assert labels == {min(comp)}
+
+
+def test_pagerank_matches_networkx():
+    g = kronecker_graph(8, 6.0, seed=3)
+    nxg = to_networkx(g)
+    expected = nx.pagerank(nxg, alpha=0.85, tol=1e-10)
+    result = pagerank(g, tol=1e-10)
+    for v in range(g.num_vertices):
+        assert result.ranks[v] == pytest.approx(expected[v], abs=1e-5)

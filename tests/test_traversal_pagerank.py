@@ -1,0 +1,82 @@
+"""PageRank: convergence, rank properties, the dense oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.graph.builder import build_csr
+from repro.graph.generators import complete_graph, star_graph
+from repro.traversal.pagerank import pagerank, pagerank_reference
+
+
+def test_ranks_sum_to_one(kron_small):
+    result = pagerank(kron_small)
+    assert result.ranks.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_converges_on_small_graph(kron_small):
+    assert pagerank(kron_small).converged
+
+
+def test_matches_dense_reference():
+    g = complete_graph(8)
+    assert np.allclose(pagerank(g).ranks, pagerank_reference(g), atol=1e-6)
+
+
+def test_matches_reference_with_dangling_vertices(tiny_graph):
+    # tiny_graph has dangling vertices (4 and 5 have no out-edges).
+    assert np.allclose(
+        pagerank(tiny_graph).ranks, pagerank_reference(tiny_graph), atol=1e-6
+    )
+
+
+def test_complete_graph_is_uniform():
+    ranks = pagerank(complete_graph(10)).ranks
+    assert np.allclose(ranks, 0.1, atol=1e-6)
+
+
+def test_star_hub_outranks_leaves():
+    ranks = pagerank(star_graph(20)).ranks
+    assert ranks[0] > ranks[1:].max()
+
+
+def test_damping_validation(kron_small):
+    with pytest.raises(TraceError, match="damping"):
+        pagerank(kron_small, damping=1.0)
+    with pytest.raises(TraceError, match="damping"):
+        pagerank(kron_small, damping=0.0)
+
+
+def test_empty_graph_rejected():
+    import numpy as np
+    from repro.graph.csr import CSRGraph
+
+    g = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+    with pytest.raises(TraceError, match="non-empty"):
+        pagerank(g)
+
+
+def test_max_iterations_limits_work(kron_small):
+    result = pagerank(kron_small, max_iterations=2, tol=1e-300)
+    assert result.iterations == 2
+    assert not result.converged
+
+
+def test_trace_is_full_graph_every_iteration(kron_small):
+    """PageRank is the sequential-access contrast workload: every step
+    touches every vertex's sublist."""
+    result = pagerank(kron_small, max_iterations=3, tol=1e-300)
+    assert result.trace.num_steps == 3
+    for step in result.trace:
+        assert step.frontier_size == kron_small.num_vertices
+        assert step.useful_bytes == kron_small.edge_list_bytes
+
+
+def test_pagerank_raf_stays_near_one(kron_small):
+    """Dense per-step coverage means alignment barely amplifies reads —
+    the Graphene contrast from the related-work discussion."""
+    from repro.memsim.raf import read_amplification
+
+    result = pagerank(kron_small, max_iterations=2, tol=1e-300)
+    raf = read_amplification(result.trace, 4096).raf
+    assert raf < 1.2

@@ -1,0 +1,104 @@
+"""SSSP: both variants against Dijkstra, traces, input validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.graph.builder import build_csr
+from repro.traversal.sssp import (
+    sssp_bellman_ford,
+    sssp_delta_stepping,
+    sssp_reference,
+)
+
+
+def weighted_diamond():
+    """0->1 (1), 0->2 (4), 1->2 (1), 2->3 (1), 1->3 (5): dist = [0,1,2,3]."""
+    return build_csr(
+        np.array([0, 0, 1, 2, 1]),
+        np.array([1, 2, 2, 3, 3]),
+        num_vertices=4,
+        weights=np.array([1.0, 4.0, 1.0, 1.0, 5.0]),
+    )
+
+
+class TestCorrectness:
+    def test_diamond_distances(self):
+        g = weighted_diamond()
+        expected = np.array([0.0, 1.0, 2.0, 3.0])
+        assert np.allclose(sssp_bellman_ford(g, 0).distances, expected)
+        assert np.allclose(sssp_delta_stepping(g, 0).distances, expected)
+        assert np.allclose(sssp_reference(g, 0), expected)
+
+    @pytest.mark.parametrize("source", [0, 11, 101])
+    def test_bellman_ford_matches_dijkstra(self, weighted_small, source):
+        result = sssp_bellman_ford(weighted_small, source)
+        assert np.allclose(result.distances, sssp_reference(weighted_small, source))
+
+    @pytest.mark.parametrize("source", [0, 11])
+    def test_delta_stepping_matches_dijkstra(self, weighted_small, source):
+        result = sssp_delta_stepping(weighted_small, source)
+        assert np.allclose(result.distances, sssp_reference(weighted_small, source))
+
+    @pytest.mark.parametrize("delta", [0.5, 5.0, 500.0])
+    def test_delta_stepping_delta_invariance(self, weighted_small, delta):
+        """Any positive delta yields the same distances."""
+        result = sssp_delta_stepping(weighted_small, 0, delta=delta)
+        assert np.allclose(result.distances, sssp_reference(weighted_small, 0))
+
+    def test_unreachable_is_inf(self):
+        g = build_csr(
+            np.array([0]), np.array([1]), num_vertices=3, weights=np.array([1.0])
+        )
+        dist = sssp_bellman_ford(g, 0).distances
+        assert np.isinf(dist[2])
+        assert sssp_bellman_ford(g, 0).num_reached == 2
+
+
+class TestValidation:
+    def test_unweighted_graph_rejected(self, urand_small):
+        with pytest.raises(TraceError, match="weighted"):
+            sssp_bellman_ford(urand_small, 0)
+        with pytest.raises(TraceError, match="weighted"):
+            sssp_delta_stepping(urand_small, 0)
+
+    def test_negative_weights_rejected(self):
+        g = build_csr(
+            np.array([0]), np.array([1]), num_vertices=2, weights=np.array([-1.0])
+        )
+        with pytest.raises(TraceError, match="non-negative"):
+            sssp_bellman_ford(g, 0)
+
+    def test_bad_source_rejected(self, weighted_small):
+        with pytest.raises(TraceError, match="out of range"):
+            sssp_bellman_ford(weighted_small, 10**6)
+
+    def test_bad_delta_rejected(self, weighted_small):
+        with pytest.raises(TraceError, match="delta"):
+            sssp_delta_stepping(weighted_small, 0, delta=0.0)
+
+
+class TestTraces:
+    def test_bellman_ford_first_step_is_source(self, weighted_small):
+        trace = sssp_bellman_ford(weighted_small, 5).trace
+        assert trace.steps[0].vertices.tolist() == [5]
+
+    def test_sssp_revisits_make_trace_larger_than_bfs(self, weighted_small):
+        """SSSP relaxation revisits vertices, so it reads more sublist
+        bytes than BFS (which visits each vertex once)."""
+        from repro.traversal.bfs import bfs
+
+        sssp_bytes = sssp_bellman_ford(weighted_small, 0).trace.useful_bytes
+        bfs_bytes = bfs(weighted_small, 0).trace.useful_bytes
+        assert sssp_bytes >= bfs_bytes
+
+    def test_delta_stepping_has_more_steps(self, weighted_small):
+        """Delta-stepping settles buckets serially -> more, smaller steps."""
+        bf_steps = sssp_bellman_ford(weighted_small, 0).trace.num_steps
+        ds_steps = sssp_delta_stepping(weighted_small, 0).trace.num_steps
+        assert ds_steps > bf_steps
+
+    def test_frontier_sizes_recorded(self, weighted_small):
+        result = sssp_bellman_ford(weighted_small, 0)
+        assert result.frontier_sizes[0] == 1
+        assert len(result.frontier_sizes) == result.trace.num_steps

@@ -1,0 +1,66 @@
+"""Unit constants and conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_decimal_size_constants():
+    assert units.KB == 1_000
+    assert units.MB == 1_000_000
+    assert units.GB == 1_000_000_000
+
+
+def test_binary_size_constants():
+    assert units.KIB == 1_024
+    assert units.MIB == 1_048_576
+    assert units.GIB == 1_073_741_824
+
+
+def test_time_constants_are_seconds():
+    assert units.USEC == pytest.approx(1e-6)
+    assert units.NSEC == pytest.approx(1e-9)
+    assert units.MSEC == pytest.approx(1e-3)
+    assert units.SEC == 1.0
+
+
+def test_to_mb_per_s_roundtrip():
+    assert units.to_mb_per_s(24_000 * units.MB_PER_S) == pytest.approx(24_000)
+
+
+def test_to_miops_roundtrip():
+    assert units.to_miops(6 * units.MIOPS) == pytest.approx(6.0)
+
+
+def test_to_usec_roundtrip():
+    assert units.to_usec(2.87 * units.USEC) == pytest.approx(2.87)
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (512, "512 B"),
+        (1536, "1.5 KiB"),
+        (3 * units.MIB, "3.0 MiB"),
+        (2 * units.GIB, "2.0 GiB"),
+    ],
+)
+def test_bytes_human(value, expected):
+    assert units.bytes_human(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (2.0, "2.00 s"),
+        (1.5e-3, "1.50 ms"),
+        (2e-6, "2.00 us"),
+        (500e-9, "500 ns"),
+    ],
+)
+def test_time_human(value, expected):
+    assert units.time_human(value) == expected
+
+
+def test_rate_human_uses_decimal_megabytes():
+    assert units.rate_human(24e9) == "24,000 MB/s"
