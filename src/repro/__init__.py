@@ -36,6 +36,9 @@ Subpackages
     Fluid step-time model, discrete-event simulator, pointer chase.
 ``core``
     Equations 1-6, requirement calculator, experiments, sweeps, reports.
+``faults``
+    Seeded fault injection (transient errors, latency spikes, device
+    dropout), retries, and pool-level graceful degradation.
 """
 
 from .graph import (
@@ -65,6 +68,13 @@ from .core import (
     predict_runtime,
     requirements_for,
 )
+from .faults import (
+    FaultPlan,
+    RetryPolicy,
+    FaultyBackend,
+    faulty_factory,
+    run_fault_experiment,
+)
 
 __version__ = "1.0.0"
 
@@ -90,5 +100,10 @@ __all__ = [
     "run_experiment",
     "predict_runtime",
     "requirements_for",
+    "FaultPlan",
+    "RetryPolicy",
+    "FaultyBackend",
+    "faulty_factory",
+    "run_fault_experiment",
     "__version__",
 ]

@@ -11,7 +11,13 @@ from typing import Any, Mapping, Sequence
 
 from ..errors import ModelError
 
-__all__ = ["format_table", "markdown_table", "format_series", "geometric_mean"]
+__all__ = [
+    "format_table",
+    "markdown_table",
+    "format_series",
+    "fault_summary",
+    "geometric_mean",
+]
 
 
 def _format_value(value: Any) -> str:
@@ -89,6 +95,26 @@ def format_series(
         raise ModelError(f"series length mismatch: {len(xs)} vs {len(ys)}")
     rows = [{x_label: float(x), y_label: float(y)} for x, y in zip(xs, ys)]
     return format_table(rows, title=title)
+
+
+def fault_summary(stats: Any) -> dict[str, Any]:
+    """Flat fault-exposure row from a :class:`~repro.engine.backend.MemoryStats`.
+
+    Every fault experiment reports these columns so retries, timeouts and
+    capacity loss are visible next to the performance numbers instead of
+    hidden inside them.
+    """
+    return {
+        "requests": stats.requests,
+        "retries": stats.retries,
+        "timeouts": stats.timeouts,
+        "evictions": stats.evictions,
+        "retry_factor": stats.retry_factor,
+        "retry_wait_us": stats.retry_wait_time * 1e6,
+        "latency_p50_us": stats.latency_p50 * 1e6,
+        "latency_p99_us": stats.latency_p99 * 1e6,
+        "latency_p999_us": stats.latency_p999 * 1e6,
+    }
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -63,10 +63,12 @@ class DeviceProfile:
     def __post_init__(self) -> None:
         if self.alignment_bytes < 1:
             raise DeviceError(f"{self.name}: alignment must be >= 1 byte")
-        if self.iops <= 0 or self.latency <= 0 or self.internal_bandwidth <= 0:
-            raise DeviceError(
-                f"{self.name}: iops, latency and internal_bandwidth must be positive"
-            )
+        for attr in ("iops", "latency", "internal_bandwidth"):
+            value = getattr(self, attr)
+            if not math.isfinite(value) or value <= 0:
+                raise DeviceError(
+                    f"{self.name}: {attr} must be positive and finite, got {value}"
+                )
         if self.max_transfer_bytes is not None and (
             self.max_transfer_bytes < self.alignment_bytes
             or self.max_transfer_bytes % self.alignment_bytes != 0
@@ -86,10 +88,14 @@ class DeviceProfile:
         ``min(S*d, outstanding*d/L, internal_bandwidth)`` where ``L`` is the
         device latency plus any path latency the caller adds.
         """
-        if transfer_bytes <= 0:
-            raise DeviceError(f"transfer size must be positive, got {transfer_bytes}")
-        if extra_latency < 0:
-            raise DeviceError("extra_latency must be >= 0")
+        if not math.isfinite(transfer_bytes) or transfer_bytes <= 0:
+            raise DeviceError(
+                f"transfer size must be positive and finite, got {transfer_bytes}"
+            )
+        if not math.isfinite(extra_latency) or extra_latency < 0:
+            raise DeviceError(
+                f"extra_latency must be >= 0 and finite, got {extra_latency}"
+            )
         terms = [self.iops * transfer_bytes, self.internal_bandwidth]
         if self.max_outstanding is not None:
             total_latency = self.latency + extra_latency
@@ -98,8 +104,8 @@ class DeviceProfile:
 
     def with_added_latency(self, added: float) -> "DeviceProfile":
         """A copy with ``added`` seconds of extra internal latency."""
-        if added < 0:
-            raise DeviceError("added latency must be >= 0")
+        if not math.isfinite(added) or added < 0:
+            raise DeviceError(f"added latency must be >= 0 and finite, got {added}")
         return replace(self, latency=self.latency + added)
 
     def check_fits(self, data_bytes: int) -> None:
@@ -189,6 +195,25 @@ class DevicePool:
     def throughput(self, transfer_bytes: float, extra_latency: float = 0.0) -> float:
         """Aggregate deliverable throughput at a request size (bytes/s)."""
         return self.device.throughput(transfer_bytes, extra_latency) * self.count
+
+    def degraded(self, failed: int = 1) -> "DevicePool":
+        """The pool after ``failed`` stripe members dropped out.
+
+        Aggregate IOPS, bandwidth, outstanding budget and capacity all
+        shrink linearly with the survivors; losing the last device raises
+        :class:`~repro.errors.DeviceLostError` because there is nothing
+        left to degrade onto.
+        """
+        from ..errors import DeviceLostError
+
+        if failed < 0:
+            raise DeviceError(f"failed device count must be >= 0, got {failed}")
+        if failed >= self.count:
+            raise DeviceLostError(
+                f"{self.name}: losing {failed} of {self.count} devices leaves "
+                "no survivors"
+            )
+        return DevicePool(device=self.device, count=self.count - failed)
 
     def devices_required_for(self, target_iops: float) -> int:
         """Devices of this type needed to reach ``target_iops``."""

@@ -37,11 +37,23 @@ __all__ = [
 
 @dataclass
 class MemoryStats:
-    """Running counters of external-memory traffic."""
+    """Running counters of external-memory traffic.
+
+    The fault-exposure counters (``retries``, ``timeouts``, ``evictions``,
+    ``faults_injected``) and the observed-latency samples stay zero/empty
+    for plain backends; :class:`repro.faults.FaultyBackend` populates them
+    so every experiment can report how much fault machinery it exercised.
+    """
 
     requests: int = 0
     fetched_bytes: int = 0
     useful_bytes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    evictions: int = 0
+    faults_injected: int = 0
+    retry_wait_time: float = 0.0
+    latency_samples: list = field(default_factory=list, repr=False)
 
     @property
     def read_amplification(self) -> float:
@@ -52,6 +64,36 @@ class MemoryStats:
     def avg_transfer_bytes(self) -> float:
         """Measured average request size d."""
         return self.fetched_bytes / self.requests if self.requests else 0.0
+
+    @property
+    def retry_factor(self) -> float:
+        """Issued attempts per logical request (1.0 when fault-free)."""
+        return 1.0 + self.retries / self.requests if self.requests else 1.0
+
+    def record_latency(self, seconds) -> None:
+        """Record completed-request latencies (scalar or array)."""
+        self.latency_samples.extend(np.atleast_1d(np.asarray(seconds, float)))
+
+    def latency_percentile(self, q: float) -> float:
+        """Observed completion-latency percentile (0.0 with no samples)."""
+        if not self.latency_samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latency_samples), q))
+
+    @property
+    def latency_p50(self) -> float:
+        """Median observed completion latency in seconds."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile observed completion latency in seconds."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def latency_p999(self) -> float:
+        """99.9th-percentile observed completion latency in seconds."""
+        return self.latency_percentile(99.9)
 
 
 class ExternalMemoryBackend(ABC):

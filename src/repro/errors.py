@@ -15,6 +15,9 @@ __all__ = [
     "TraceError",
     "DeviceError",
     "CapacityError",
+    "FaultError",
+    "FaultExhaustedError",
+    "DeviceLostError",
     "SimulationError",
     "ModelError",
 ]
@@ -46,6 +49,35 @@ class DeviceError(ReproError, ValueError):
 
 class CapacityError(DeviceError):
     """Data does not fit on the configured device or device pool."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """An injected device fault escalated beyond what the system absorbs."""
+
+
+class FaultExhaustedError(FaultError):
+    """A request kept failing until its retry budget ran out.
+
+    Carries enough context (request id, device, attempts) to reproduce the
+    failing request under the same :class:`~repro.faults.FaultPlan` seed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        request_id: int | None = None,
+        device: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.device = device
+        self.attempts = attempts
+
+
+class DeviceLostError(FaultError):
+    """A permanent device loss could not be absorbed by the pool."""
 
 
 class SimulationError(ReproError, RuntimeError):

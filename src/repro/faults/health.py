@@ -1,0 +1,158 @@
+"""Pool health tracking and graceful degradation.
+
+A striped :class:`~repro.devices.base.DevicePool` loses a member the way a
+RAID set does: the member stops answering, the health layer notices a run
+of consecutive failures, evicts it, and the survivors absorb its address
+range.  The run continues at reduced throughput — and the capacity loss is
+*surfaced* (events, fractions, a degraded pool object), never hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.base import DevicePool
+from ..errors import DeviceError, DeviceLostError
+
+__all__ = ["HealthEvent", "PoolHealthTracker"]
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One recorded health transition (currently: evictions)."""
+
+    device: int
+    kind: str
+    request_id: int
+    consecutive_failures: int
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return (
+            f"device {self.device} {self.kind} after "
+            f"{self.consecutive_failures} consecutive failures "
+            f"(request {self.request_id})"
+        )
+
+
+class PoolHealthTracker:
+    """Detects failed stripe members and re-plans placement.
+
+    Parameters
+    ----------
+    count:
+        Stripe members in the pool.
+    failure_threshold:
+        Consecutive failures on one member before it is declared dead and
+        evicted.  Keep it below the retry budget so a dropout is evicted
+        *within* a request's retry loop rather than exhausting it.
+    """
+
+    def __init__(self, count: int, *, failure_threshold: int = 3) -> None:
+        if count < 1:
+            raise DeviceError(f"pool needs >= 1 device, got {count}")
+        if failure_threshold < 1:
+            raise DeviceError("failure_threshold must be >= 1")
+        self.count = count
+        self.failure_threshold = failure_threshold
+        self._consecutive = [0] * count
+        self._streak_requests = [0] * count
+        self.failed: set[int] = set()
+        self.events: list[HealthEvent] = []
+
+    def _check(self, device: int) -> None:
+        if not 0 <= device < self.count:
+            raise DeviceError(f"device {device} out of range [0, {self.count})")
+
+    # -- observations --------------------------------------------------------
+
+    def record_success(self, device: int) -> None:
+        """A request on ``device`` completed; its failure streak resets."""
+        self._check(device)
+        self._consecutive[device] = 0
+        self._streak_requests[device] = 0
+
+    def record_failure(
+        self, device: int, request_id: int = -1, failures: int = 1
+    ) -> bool:
+        """``device`` answered nothing this round; returns True if evicted.
+
+        Call once per retry round per device (not once per failed
+        request, pass the round's failure count as ``failures``), and only
+        when the device had *no* successes that round — a member serving
+        some requests while dropping others is suffering transient errors,
+        not death.  Eviction needs both ``failure_threshold`` consecutive
+        all-fail rounds *and* twice that many failed requests of evidence,
+        so an unlucky single-request retry chain cannot kill a healthy
+        member.  Eviction never empties the pool: the last survivor stays
+        in service and lets the retry budget decide (exhaustion raises
+        :class:`~repro.errors.FaultExhaustedError`).
+        """
+        self._check(device)
+        if device in self.failed:
+            return False
+        self._consecutive[device] += 1
+        self._streak_requests[device] += failures
+        if (
+            self._consecutive[device] >= self.failure_threshold
+            and self._streak_requests[device] >= 2 * self.failure_threshold
+            and len(self.failed) + 1 < self.count
+        ):
+            self.evict(device, request_id=request_id)
+            return True
+        return False
+
+    def evict(self, device: int, request_id: int = -1) -> None:
+        """Remove ``device`` from service; survivors take over its stripes."""
+        self._check(device)
+        if device in self.failed:
+            return
+        if len(self.failed) + 1 >= self.count:
+            raise DeviceLostError(
+                f"evicting device {device} would leave the pool empty "
+                f"({self.count} members, {len(self.failed)} already failed)"
+            )
+        self.failed.add(device)
+        self.events.append(
+            HealthEvent(
+                device=device,
+                kind="evicted",
+                request_id=request_id,
+                consecutive_failures=self._consecutive[device],
+            )
+        )
+
+    # -- degraded-state queries ----------------------------------------------
+
+    @property
+    def surviving(self) -> list[int]:
+        """Indices of members still in service, in stripe order."""
+        return [d for d in range(self.count) if d not in self.failed]
+
+    @property
+    def surviving_fraction(self) -> float:
+        """Fraction of the pool still in service (1.0 = healthy)."""
+        return len(self.surviving) / self.count
+
+    @property
+    def capacity_loss_fraction(self) -> float:
+        """Fraction of aggregate capacity/throughput lost to evictions."""
+        return 1.0 - self.surviving_fraction
+
+    def degraded_pool(self, pool: DevicePool) -> DevicePool:
+        """``pool`` reduced to the surviving members."""
+        if pool.count != self.count:
+            raise DeviceError(
+                f"tracker covers {self.count} devices but pool has {pool.count}"
+            )
+        return pool.degraded(len(self.failed))
+
+    def describe(self) -> str:
+        """One-line health summary for reports."""
+        if not self.failed:
+            return f"pool healthy: {self.count}/{self.count} members in service"
+        return (
+            f"pool degraded: {len(self.surviving)}/{self.count} members in "
+            f"service ({100 * self.capacity_loss_fraction:.0f}% capacity lost); "
+            + "; ".join(e.describe() for e in self.events)
+        )

@@ -1,0 +1,207 @@
+"""Deterministic, seed-driven fault schedules.
+
+A :class:`FaultPlan` decides, for every ``(request, attempt)`` pair, whether
+the attempt suffers a transient read failure and how much tail latency it
+draws — plus whether a whole device is stuck-slow or permanently dropped.
+Outcomes come from a counter-based hash (splitmix64) of
+``(seed, request_id, attempt, stream)``, so they are:
+
+* **reproducible** — the same seed replays the same faults;
+* **order-independent** — the vectorized :class:`~repro.faults.backend.FaultyBackend`
+  and the scalar discrete-event simulator draw identical outcomes for the
+  same request, regardless of batching or event interleaving.
+
+Latency spikes are drawn from a Pareto (heavy-tailed) distribution via the
+inverse CDF, matching the tail behaviour measured on real flash arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DeviceError
+from ..units import USEC
+
+__all__ = ["FaultPlan"]
+
+# splitmix64 constants (Steele et al., "Fast splittable pseudorandom
+# number generators").
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_PRIME_SEED = np.uint64(0xD6E8FEB86659FD93)
+_PRIME_ATTEMPT = np.uint64(0xA24BAED4963EE407)
+_PRIME_STREAM = np.uint64(0x9FB21C651E98DF25)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    x = (x + _GOLDEN) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    x = (x ^ (x >> np.uint64(30))) * _MIX1
+    x = (x ^ (x >> np.uint64(27))) * _MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+def _uniform(seed: int, request_ids: np.ndarray, attempt: int, stream: int) -> np.ndarray:
+    """Deterministic uniforms in [0, 1) keyed by (seed, request, attempt)."""
+    ids = np.atleast_1d(np.asarray(request_ids)).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = ids * _GOLDEN
+        x ^= np.uint64(seed) * _PRIME_SEED
+        x ^= np.uint64(attempt) * _PRIME_ATTEMPT
+        x ^= np.uint64(stream) * _PRIME_STREAM
+        z = _splitmix64(_splitmix64(x))
+    return (z >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+# Independent draw streams per (request, attempt).
+_STREAM_ERROR = 1
+_STREAM_SPIKE_GATE = 2
+_STREAM_SPIKE_SIZE = 3
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of device faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of every random draw; the whole plan replays from it.
+    read_error_rate:
+        Per-attempt probability of a transient read failure (flash read
+        error / ECC retry).  Each attempt draws independently.
+    spike_rate / spike_scale / spike_alpha:
+        With probability ``spike_rate`` an attempt pays an extra latency
+        drawn from a Pareto tail: ``spike_scale * ((1-u)^(-1/alpha) - 1)``.
+        ``alpha`` near 1 gives very heavy tails.
+    stuck_device / stuck_factor:
+        One stripe member whose every access is ``stuck_factor`` x slower
+        (a degraded-but-alive device; it never fails, it just drags).
+    drop_device_at / drop_device_time / drop_device_index:
+        Permanent dropout of one stripe member once the global request
+        count (or simulated clock) passes the trigger.  Every subsequent
+        attempt against it fails until the health layer evicts it.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_scale: float = 10 * USEC
+    spike_alpha: float = 1.5
+    stuck_device: int | None = None
+    stuck_factor: float = 10.0
+    drop_device_at: int | None = None
+    drop_device_time: float | None = None
+    drop_device_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise DeviceError(f"fault seed must be >= 0, got {self.seed}")
+        for name in ("read_error_rate", "spike_rate"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+                raise DeviceError(f"{name} must be a probability, got {value}")
+        if not np.isfinite(self.spike_scale) or self.spike_scale < 0:
+            raise DeviceError("spike_scale must be >= 0 and finite")
+        if not np.isfinite(self.spike_alpha) or self.spike_alpha <= 0:
+            raise DeviceError("spike_alpha must be positive and finite")
+        if not np.isfinite(self.stuck_factor) or self.stuck_factor < 1:
+            raise DeviceError("stuck_factor must be >= 1 and finite")
+        if self.drop_device_at is not None and self.drop_device_at < 0:
+            raise DeviceError("drop_device_at must be >= 0")
+        if self.drop_device_time is not None and self.drop_device_time < 0:
+            raise DeviceError("drop_device_time must be >= 0")
+        if self.drop_device_index < 0:
+            raise DeviceError("drop_device_index must be >= 0")
+
+    # -- configuration queries ----------------------------------------------
+
+    @property
+    def is_faulty(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return (
+            self.read_error_rate > 0
+            or self.spike_rate > 0
+            or self.stuck_device is not None
+            or self.drop_device_at is not None
+            or self.drop_device_time is not None
+        )
+
+    @property
+    def transient_only(self) -> bool:
+        """No permanent dropout configured (retries can always win)."""
+        return self.drop_device_at is None and self.drop_device_time is None
+
+    def describe(self) -> str:
+        """One-line summary, echoed by the CLI for reproducibility."""
+        parts = [f"seed={self.seed}", f"read_error_rate={self.read_error_rate:g}"]
+        if self.spike_rate > 0:
+            parts.append(
+                f"spikes={self.spike_rate:g}@{self.spike_scale / USEC:g}us"
+                f"(alpha={self.spike_alpha:g})"
+            )
+        if self.stuck_device is not None:
+            parts.append(f"stuck_device={self.stuck_device}x{self.stuck_factor:g}")
+        if self.drop_device_at is not None:
+            parts.append(
+                f"drop_device={self.drop_device_index}@{self.drop_device_at}req"
+            )
+        if self.drop_device_time is not None:
+            parts.append(
+                f"drop_device={self.drop_device_index}"
+                f"@{self.drop_device_time / USEC:g}us"
+            )
+        return "fault plan: " + " ".join(parts)
+
+    # -- vectorized draws (FaultyBackend) -----------------------------------
+
+    def transient_failures(self, request_ids: np.ndarray, attempt: int) -> np.ndarray:
+        """Boolean mask: which attempts suffer a transient read error."""
+        if self.read_error_rate == 0.0:
+            return np.zeros(np.atleast_1d(request_ids).shape, dtype=bool)
+        return _uniform(self.seed, request_ids, attempt, _STREAM_ERROR) < (
+            self.read_error_rate
+        )
+
+    def spike_latencies(self, request_ids: np.ndarray, attempt: int) -> np.ndarray:
+        """Extra seconds of tail latency per attempt (0 for most)."""
+        ids = np.atleast_1d(request_ids)
+        if self.spike_rate == 0.0 or self.spike_scale == 0.0:
+            return np.zeros(ids.shape)
+        gate = _uniform(self.seed, ids, attempt, _STREAM_SPIKE_GATE) < self.spike_rate
+        u = _uniform(self.seed, ids, attempt, _STREAM_SPIKE_SIZE)
+        spike = self.spike_scale * ((1.0 - u) ** (-1.0 / self.spike_alpha) - 1.0)
+        return np.where(gate, spike, 0.0)
+
+    def latency_multipliers(self, devices: np.ndarray) -> np.ndarray:
+        """Per-device service-time multiplier (stuck-slow devices)."""
+        devices = np.atleast_1d(devices)
+        if self.stuck_device is None:
+            return np.ones(devices.shape)
+        return np.where(devices == self.stuck_device, self.stuck_factor, 1.0)
+
+    # -- scalar draws (discrete-event simulator) ----------------------------
+
+    def transient_failure(self, request_id: int, attempt: int) -> bool:
+        """Scalar form of :meth:`transient_failures`."""
+        return bool(self.transient_failures(np.array([request_id]), attempt)[0])
+
+    def spike_latency(self, request_id: int, attempt: int) -> float:
+        """Scalar form of :meth:`spike_latencies`."""
+        return float(self.spike_latencies(np.array([request_id]), attempt)[0])
+
+    def latency_multiplier(self, device: int) -> float:
+        """Scalar form of :meth:`latency_multipliers`."""
+        return float(self.latency_multipliers(np.array([device]))[0])
+
+    def device_dropped(self, device: int, requests_seen: int, clock: float) -> bool:
+        """Has the permanent-dropout trigger fired for ``device``?"""
+        if device != self.drop_device_index:
+            return False
+        if self.drop_device_at is not None and requests_seen >= self.drop_device_at:
+            return True
+        if self.drop_device_time is not None and clock >= self.drop_device_time:
+            return True
+        return False

@@ -1,0 +1,61 @@
+"""Retry policies: bounded attempts with exponential backoff.
+
+All times are *simulated* seconds — the same time base as the device
+profiles and the discrete-event simulator — so retry costs show up in the
+modeled runtimes, not in wall-clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from ..units import USEC
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a request lost.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total issues per request (first try included).  Exhausting them
+        raises :class:`~repro.errors.FaultExhaustedError`.
+    backoff_base / backoff_factor:
+        Wait ``backoff_base * backoff_factor**(k-1)`` simulated seconds
+        after the ``k``-th failed attempt before reissuing.
+    timeout:
+        Per-attempt deadline; an attempt whose observed latency exceeds it
+        is abandoned at the deadline and retried (``None`` = wait forever).
+    """
+
+    max_attempts: int = 5
+    backoff_base: float = 2 * USEC
+    backoff_factor: float = 2.0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise DeviceError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not math.isfinite(self.backoff_base) or self.backoff_base < 0:
+            raise DeviceError("backoff_base must be >= 0 and finite")
+        if not math.isfinite(self.backoff_factor) or self.backoff_factor < 1:
+            raise DeviceError("backoff_factor must be >= 1 and finite")
+        if self.timeout is not None and (
+            not math.isfinite(self.timeout) or self.timeout <= 0
+        ):
+            raise DeviceError("timeout must be positive and finite, or None")
+
+    def backoff(self, failed_attempt: int) -> float:
+        """Simulated wait after the ``failed_attempt``-th failure (1-based)."""
+        if failed_attempt < 1:
+            raise DeviceError(f"attempt numbers are 1-based, got {failed_attempt}")
+        return self.backoff_base * self.backoff_factor ** (failed_attempt - 1)
+
+    def total_backoff(self, attempts: int) -> float:
+        """Cumulative backoff paid by a request that issued ``attempts``."""
+        return sum(self.backoff(k) for k in range(1, attempts))

@@ -24,7 +24,13 @@ from .events import Simulator
 from .fluid import FluidParams
 from .resources import FifoServer, RateServer, Semaphore
 
-__all__ = ["DESConfig", "DESResult", "simulate_step", "simulate_trace"]
+__all__ = [
+    "DESConfig",
+    "DESResult",
+    "simulate_step",
+    "simulate_step_faulty",
+    "simulate_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -80,7 +86,11 @@ class DESConfig:
 
 @dataclass
 class DESResult:
-    """Outcome of one simulated step (or trace)."""
+    """Outcome of one simulated step (or trace).
+
+    ``retries``/``timeouts``/``faults_injected`` stay zero for fault-free
+    simulations; :func:`simulate_step_faulty` populates them.
+    """
 
     time: float
     requests: int
@@ -88,6 +98,9 @@ class DESResult:
     max_link_tags: int
     max_warps: int
     completion_times: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    retries: int = 0
+    timeouts: int = 0
+    faults_injected: int = 0
 
     @property
     def link_utilization(self) -> float:
@@ -190,6 +203,155 @@ def simulate_step(
         max_link_tags=link_tags.max_in_use,
         max_warps=warps.max_in_use,
         completion_times=completion,
+    )
+
+
+def simulate_step_faulty(
+    sizes: np.ndarray,
+    config: DESConfig,
+    plan,
+    policy,
+    devices: np.ndarray | None = None,
+    *,
+    include_overhead: bool = False,
+    max_events: int | None = None,
+) -> DESResult:
+    """Simulate one step with faults replayed as real extra events.
+
+    ``plan`` is a :class:`~repro.faults.plan.FaultPlan`, ``policy`` a
+    :class:`~repro.faults.retry.RetryPolicy` (duck-typed here to keep
+    :mod:`repro.sim` import-independent of :mod:`repro.faults`).  A failed
+    attempt holds its warp and link tag, pays the (possibly spiked,
+    possibly cut-off-at-timeout) latency, releases its device queue slot
+    for the backoff wait, then reissues through device admission, media
+    and latency again — extra tags held longer, extra latency paid, and
+    no link data moved until an attempt succeeds.  Requests against a
+    permanently dropped device fail every attempt; exhausting the retry
+    budget raises :class:`~repro.errors.FaultExhaustedError` (pool-level
+    eviction lives a layer up, in :mod:`repro.faults.backend`).
+
+    The plan's counter-based draws make this bit-reproducible and
+    consistent with :class:`~repro.faults.backend.FaultyBackend` for the
+    same request ids.
+    """
+    from ..errors import FaultExhaustedError
+
+    sizes = np.asarray(sizes, dtype=np.int64)
+    sizes = sizes[sizes > 0]
+    n = sizes.size
+    if n == 0:
+        return DESResult(
+            time=config.step_overhead if include_overhead else 0.0,
+            requests=0,
+            link_busy_time=0.0,
+            max_link_tags=0,
+            max_warps=0,
+            completion_times=np.empty(0),
+        )
+    if devices is None:
+        devices = np.arange(n, dtype=np.int64) % config.num_devices
+    else:
+        devices = np.asarray(devices, dtype=np.int64)
+        if devices.shape != sizes.shape:
+            raise SimulationError("devices must match sizes in shape")
+        if devices.min() < 0 or devices.max() >= config.num_devices:
+            raise SimulationError("device index out of range")
+
+    sim = Simulator()
+    warps = Semaphore(sim, config.gpu_concurrency, "warps")
+    link_tags = Semaphore(sim, config.link_outstanding, "link-tags")
+    device_tags = [
+        Semaphore(sim, config.device_outstanding, f"dev{i}-tags")
+        for i in range(config.num_devices)
+    ]
+    device_ops = [
+        RateServer(sim, config.device_iops, f"dev{i}-ops")
+        for i in range(config.num_devices)
+    ]
+    device_bw = [
+        FifoServer(sim, f"dev{i}-bw") for i in range(config.num_devices)
+    ]
+    link = FifoServer(sim, "link-data")
+    completion = np.zeros(n)
+    counters = {"retries": 0, "timeouts": 0, "faults": 0}
+
+    def start_request(i: int) -> None:
+        size = int(sizes[i])
+        dev = int(devices[i])
+        state = {"attempt": 1}
+
+        def with_warp() -> None:
+            link_tags.acquire(with_link_tag)
+
+        def with_link_tag() -> None:
+            device_tags[dev].acquire(with_device_tag)
+
+        def with_device_tag() -> None:
+            device_ops[dev].submit_op(after_admission)
+
+        def after_admission() -> None:
+            device_bw[dev].submit(size / config.device_internal_bandwidth, after_media)
+
+        def after_media() -> None:
+            attempt = state["attempt"]
+            latency = config.latency * plan.latency_multiplier(dev)
+            latency += plan.spike_latency(i, attempt)
+            timed_out = policy.timeout is not None and latency > policy.timeout
+            wait = policy.timeout if timed_out else latency
+            sim.schedule(wait, lambda: after_latency(timed_out))
+
+        def after_latency(timed_out: bool) -> None:
+            attempt = state["attempt"]
+            failed = (
+                timed_out
+                or plan.device_dropped(dev, i, sim.now)
+                or plan.transient_failure(i, attempt)
+            )
+            if not failed:
+                link.submit(size / config.link_bandwidth, lambda: finish(i, dev))
+                return
+            counters["faults"] += 1
+            if timed_out:
+                counters["timeouts"] += 1
+            if attempt >= policy.max_attempts:
+                raise FaultExhaustedError(
+                    f"request {i} failed {attempt} times (device {dev}); "
+                    "retry budget exhausted",
+                    request_id=i,
+                    device=dev,
+                    attempts=attempt,
+                )
+            counters["retries"] += 1
+            state["attempt"] = attempt + 1
+            # Free the device queue slot during the backoff, then reissue
+            # through admission, media and latency — real extra events.
+            device_tags[dev].release()
+            sim.schedule(
+                policy.backoff(attempt),
+                lambda: device_tags[dev].acquire(with_device_tag),
+            )
+
+        warps.acquire(with_warp)
+
+    def finish(i: int, dev: int) -> None:
+        completion[i] = sim.now
+        device_tags[dev].release()
+        link_tags.release()
+        warps.release()
+
+    for i in range(n):
+        start_request(i)
+    end = sim.run(max_events=max_events)
+    return DESResult(
+        time=end + (config.step_overhead if include_overhead else 0.0),
+        requests=n,
+        link_busy_time=link.busy_time,
+        max_link_tags=link_tags.max_in_use,
+        max_warps=warps.max_in_use,
+        completion_times=completion,
+        retries=counters["retries"],
+        timeouts=counters["timeouts"],
+        faults_injected=counters["faults"],
     )
 
 

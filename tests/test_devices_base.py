@@ -42,6 +42,13 @@ class TestValidation:
         with pytest.raises(DeviceError):
             make_device(**{field: value})
 
+    @pytest.mark.parametrize("field", ["iops", "latency", "internal_bandwidth"])
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_fields_rejected(self, field, value):
+        """NaN slips past ``< 0`` checks; the profile must catch it."""
+        with pytest.raises(DeviceError):
+            make_device(**{field: value})
+
     def test_max_transfer_must_be_multiple_of_alignment(self):
         with pytest.raises(DeviceError, match="multiple"):
             make_device(alignment_bytes=16, max_transfer_bytes=100)
@@ -71,6 +78,13 @@ class TestThroughput:
         with pytest.raises(DeviceError):
             make_device().throughput(64, extra_latency=-1)
 
+    def test_non_finite_inputs_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(DeviceError):
+                make_device().throughput(bad)
+            with pytest.raises(DeviceError):
+                make_device().throughput(64, extra_latency=bad)
+
 
 class TestDeviceHelpers:
     def test_with_added_latency(self):
@@ -78,6 +92,8 @@ class TestDeviceHelpers:
         assert slower.latency == pytest.approx(7 * USEC)
         with pytest.raises(DeviceError):
             make_device().with_added_latency(-1e-6)
+        with pytest.raises(DeviceError):
+            make_device().with_added_latency(float("nan"))
 
     def test_check_fits(self):
         make_device().check_fits(10**9)
@@ -138,3 +154,13 @@ class TestPool:
     def test_count_validation(self):
         with pytest.raises(DeviceError):
             DevicePool(device=make_device(), count=0)
+
+    def test_degraded_pool_keeps_the_survivors(self):
+        from repro.errors import DeviceLostError
+
+        pool = DevicePool(device=make_device(), count=4)
+        degraded = pool.degraded(1)
+        assert degraded.count == 3
+        assert degraded.device is pool.device
+        with pytest.raises(DeviceLostError):
+            pool.degraded(4)

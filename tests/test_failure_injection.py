@@ -3,25 +3,50 @@
 A reproduction's numbers are only trustworthy if broken inputs cannot
 produce plausible-looking outputs.  These tests inject corrupted graphs,
 lying backends, and inconsistent configurations, and assert that each is
-rejected at the right layer with the package's own exception types.
+rejected at the right layer with the package's own exception types —
+plus the :mod:`repro.faults` subsystem: seeded transient faults must
+leave results bit-identical (with the retries visible in the stats),
+exhausted retry budgets must raise the typed error, and a mid-run device
+dropout must degrade the pool gracefully instead of crashing.
 """
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.engine import DirectBackend, ExternalGraphEngine
+from repro.devices.base import AccessKind, DevicePool, DeviceProfile
+from repro.engine import DirectBackend, ExternalGraphEngine, ZeroCopyBackend
 from repro.engine.backend import ExternalMemoryBackend
 from repro.errors import (
     DeviceError,
+    DeviceLostError,
+    FaultError,
+    FaultExhaustedError,
     GraphFormatError,
+    ModelError,
     ReproError,
     SimulationError,
     TraceError,
 )
+from repro.faults import (
+    FaultPlan,
+    FaultyBackend,
+    PoolHealthTracker,
+    RetryPolicy,
+    degraded_fluid_params,
+    effective_throughput_under_faults,
+    expected_attempts,
+    faulty_factory,
+    faulty_trace_time,
+    retry_inflated_step,
+    run_fault_experiment,
+)
 from repro.graph.csr import CSRGraph
-from repro.sim.des import DESConfig, simulate_step
+from repro.sim.des import DESConfig, simulate_step, simulate_step_faulty
 from repro.sim.events import Simulator
+from repro.sim.fluid import FluidParams, StepInput, step_time
 from repro.traversal.trace import AccessTrace, TraceStep
+from repro.units import MIOPS, USEC
 
 
 class TruncatingBackend(ExternalMemoryBackend):
@@ -142,3 +167,436 @@ class TestCLIErrorPaths:
         code = main(["evaluate", "--scale", "10", "--check"])
         assert code == 1
         assert "FAIL" in capsys.readouterr().err or True  # stderr carries the error
+
+
+# ---------------------------------------------------------------------------
+# repro.faults: injected faults are survivable, deterministic, and visible.
+# ---------------------------------------------------------------------------
+
+
+def _pool(count: int) -> DevicePool:
+    profile = DeviceProfile(
+        name="flash",
+        kind=AccessKind.STORAGE,
+        alignment_bytes=512,
+        iops=1.0 * MIOPS,
+        latency=20 * USEC,
+        internal_bandwidth=2_000_000_000,
+    )
+    return DevicePool(device=profile, count=count)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_replays_identical_draws(self):
+        plan = FaultPlan(seed=42, read_error_rate=0.3, spike_rate=0.2)
+        ids = np.arange(500)
+        for attempt in (1, 2, 3):
+            a = plan.transient_failures(ids, attempt)
+            b = plan.transient_failures(ids, attempt)
+            assert np.array_equal(a, b)
+            assert np.array_equal(
+                plan.spike_latencies(ids, attempt), plan.spike_latencies(ids, attempt)
+            )
+
+    def test_scalar_and_vector_draws_agree(self):
+        """The DES (scalar) and the backend (vectorized) see the same plan."""
+        plan = FaultPlan(seed=7, read_error_rate=0.25, spike_rate=0.1)
+        ids = np.arange(64)
+        vec_fail = plan.transient_failures(ids, attempt=2)
+        vec_spike = plan.spike_latencies(ids, attempt=2)
+        for i in range(64):
+            assert plan.transient_failure(i, 2) == bool(vec_fail[i])
+            assert plan.spike_latency(i, 2) == pytest.approx(float(vec_spike[i]))
+
+    def test_draws_are_order_independent(self):
+        """Batching must not change outcomes: draws key on request id."""
+        plan = FaultPlan(seed=3, read_error_rate=0.2)
+        ids = np.arange(100)
+        whole = plan.transient_failures(ids, 1)
+        shuffled = np.random.default_rng(0).permutation(ids)
+        assert np.array_equal(plan.transient_failures(shuffled, 1), whole[shuffled])
+
+    def test_different_seeds_differ(self):
+        ids = np.arange(1000)
+        a = FaultPlan(seed=1, read_error_rate=0.2).transient_failures(ids, 1)
+        b = FaultPlan(seed=2, read_error_rate=0.2).transient_failures(ids, 1)
+        assert not np.array_equal(a, b)
+
+    def test_error_rate_is_respected(self):
+        ids = np.arange(20_000)
+        hits = FaultPlan(seed=0, read_error_rate=0.1).transient_failures(ids, 1)
+        assert 0.08 < hits.mean() < 0.12
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(DeviceError):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(DeviceError):
+            FaultPlan(read_error_rate=float("nan"))
+        with pytest.raises(DeviceError):
+            FaultPlan(seed=-1)
+        with pytest.raises(DeviceError):
+            FaultPlan(spike_alpha=0.0)
+        with pytest.raises(DeviceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(DeviceError):
+            RetryPolicy(timeout=0.0)
+
+    def test_describe_echoes_the_configuration(self):
+        plan = FaultPlan(seed=9, read_error_rate=0.05, drop_device_at=100)
+        text = plan.describe()
+        assert "seed=9" in text and "0.05" in text and "drop_device" in text
+
+
+class TestTransientFaultsAreSurvivable:
+    """Transient-only plans: retries win and results stay bit-identical."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=0.01, max_value=0.15),
+    )
+    def test_bfs_bit_identical_under_any_transient_plan(
+        self, urand_small, seed, rate
+    ):
+        clean = ExternalGraphEngine(urand_small, ZeroCopyBackend).bfs(0)
+        plan = FaultPlan(seed=seed, read_error_rate=rate)
+        engine = ExternalGraphEngine(
+            urand_small,
+            faulty_factory(
+                ZeroCopyBackend,
+                plan,
+                RetryPolicy(max_attempts=10),
+                num_devices=16,
+            ),
+        )
+        faulty = engine.bfs(0)
+        assert np.array_equal(faulty.values, clean.values)
+        assert faulty.stats.retries > 0
+        assert faulty.stats.evictions == 0
+
+    def test_sssp_bit_identical_with_retries_visible(self, weighted_small):
+        clean = ExternalGraphEngine(weighted_small, ZeroCopyBackend).sssp(0)
+        engine = ExternalGraphEngine(
+            weighted_small,
+            faulty_factory(
+                ZeroCopyBackend,
+                FaultPlan(seed=11, read_error_rate=0.1),
+                RetryPolicy(max_attempts=10),
+                num_devices=16,
+            ),
+        )
+        faulty = engine.sssp(0)
+        assert np.array_equal(faulty.values, clean.values)
+        assert faulty.stats.retries > 0
+        assert faulty.stats.retry_factor > 1.0
+
+    def test_runs_are_deterministic(self, urand_small):
+        def run():
+            engine = ExternalGraphEngine(
+                urand_small,
+                faulty_factory(
+                    ZeroCopyBackend,
+                    FaultPlan(seed=5, read_error_rate=0.1),
+                    RetryPolicy(max_attempts=10),
+                    num_devices=16,
+                ),
+            )
+            return engine.bfs(0)
+
+        a, b = run(), run()
+        assert a.stats.retries == b.stats.retries
+        assert a.stats.faults_injected == b.stats.faults_injected
+        assert a.stats.retry_wait_time == pytest.approx(b.stats.retry_wait_time)
+
+    def test_latency_percentiles_are_ordered(self, urand_small):
+        engine = ExternalGraphEngine(
+            urand_small,
+            faulty_factory(
+                ZeroCopyBackend,
+                FaultPlan(seed=1, read_error_rate=0.05, spike_rate=0.02),
+                RetryPolicy(max_attempts=10),
+                num_devices=16,
+            ),
+        )
+        stats = engine.bfs(0).stats
+        assert 0.0 < stats.latency_p50 <= stats.latency_p99 <= stats.latency_p999
+
+    def test_timeouts_are_counted_and_survived(self, urand_small):
+        """Spiked attempts that blow the deadline retry and still finish."""
+        clean = ExternalGraphEngine(urand_small, ZeroCopyBackend).bfs(0)
+        engine = ExternalGraphEngine(
+            urand_small,
+            faulty_factory(
+                ZeroCopyBackend,
+                FaultPlan(seed=2, spike_rate=0.05, spike_scale=100 * USEC),
+                RetryPolicy(max_attempts=12, timeout=30 * USEC),
+                num_devices=16,
+                base_latency=10 * USEC,
+            ),
+        )
+        faulty = engine.bfs(0)
+        assert np.array_equal(faulty.values, clean.values)
+        assert faulty.stats.timeouts > 0
+
+    def test_fault_free_plan_adds_nothing(self, urand_small):
+        engine = ExternalGraphEngine(
+            urand_small,
+            faulty_factory(ZeroCopyBackend, FaultPlan(seed=0), num_devices=16),
+        )
+        stats = engine.bfs(0).stats
+        assert stats.retries == 0
+        assert stats.faults_injected == 0
+        assert stats.retry_factor == 1.0
+
+
+class TestRetryExhaustion:
+    def test_hopeless_plan_raises_typed_error(self, urand_small):
+        engine = ExternalGraphEngine(
+            urand_small,
+            faulty_factory(
+                ZeroCopyBackend,
+                FaultPlan(seed=0, read_error_rate=1.0),
+                RetryPolicy(max_attempts=3),
+            ),
+        )
+        with pytest.raises(FaultExhaustedError) as excinfo:
+            engine.bfs(0)
+        assert excinfo.value.attempts == 3
+        assert issubclass(FaultExhaustedError, FaultError)
+        assert issubclass(FaultError, ReproError)
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=2 * USEC, backoff_factor=2.0)
+        assert policy.backoff(1) == pytest.approx(2 * USEC)
+        assert policy.backoff(3) == pytest.approx(8 * USEC)
+        assert policy.total_backoff(4) == pytest.approx((2 + 4 + 8) * USEC)
+
+
+class TestDeviceDropoutDegradesGracefully:
+    def test_mid_run_dropout_completes_with_eviction(self, urand_small):
+        clean = ExternalGraphEngine(urand_small, ZeroCopyBackend).bfs(0)
+        plan = FaultPlan(seed=0, drop_device_at=100, drop_device_index=0)
+        engine = ExternalGraphEngine(
+            urand_small,
+            faulty_factory(
+                ZeroCopyBackend,
+                plan,
+                RetryPolicy(max_attempts=10),
+                num_devices=16,
+                pool=_pool(16),
+            ),
+        )
+        run = engine.bfs(0)
+        backend = engine.backend
+        assert np.array_equal(run.values, clean.values)
+        assert run.stats.evictions == 1
+        assert backend.health.failed == {0}
+        assert backend.health.surviving_fraction == pytest.approx(15 / 16)
+        assert backend.effective_pool.count == 15
+        assert "degraded" in backend.describe_health()
+
+    def test_capacity_loss_is_priced_not_hidden(self):
+        pool = _pool(16)
+        healthy = pool.throughput(4096)
+        degraded = PoolHealthTracker(16)
+        degraded.evict(3)
+        assert degraded.degraded_pool(pool).throughput(4096) == pytest.approx(
+            healthy * 15 / 16
+        )
+
+    def test_eviction_needs_sustained_evidence(self):
+        """One unlucky retry chain must not kill a healthy member."""
+        tracker = PoolHealthTracker(4, failure_threshold=3)
+        for _ in range(3):
+            assert not tracker.record_failure(1, failures=1)
+        assert tracker.failed == set()  # 3 rounds but only 3 requests of evidence
+        tracker.record_success(1)
+        for _ in range(2):
+            tracker.record_failure(2, failures=4)
+        assert not tracker.failed  # enough requests but only 2 rounds
+        assert tracker.record_failure(2, failures=4)
+        assert tracker.failed == {2}
+
+    def test_last_survivor_is_never_evicted(self):
+        tracker = PoolHealthTracker(1)
+        for _ in range(10):
+            assert not tracker.record_failure(0, failures=10)
+        assert tracker.failed == set()
+        with pytest.raises(DeviceLostError):
+            tracker.evict(0)
+
+    def test_empty_pool_degradation_rejected(self):
+        with pytest.raises(DeviceLostError):
+            _pool(2).degraded(2)
+
+
+class TestFaultModel:
+    """The analytical side: retry factor, degraded supply, t' = f·D/T'."""
+
+    def test_retry_factor_is_truncated_geometric(self):
+        assert expected_attempts(0.0, 5) == 1.0
+        p, m = 0.2, 5
+        assert expected_attempts(p, m) == pytest.approx((1 - p**m) / (1 - p))
+        assert expected_attempts(0.2, 5) < expected_attempts(0.4, 5)
+        with pytest.raises(ModelError):
+            expected_attempts(1.0, 5)
+
+    def test_retries_inflate_demand_but_not_useful_bytes(self):
+        step = StepInput(
+            requests=1000, link_bytes=64_000, device_ops=1000, device_bytes=64_000
+        )
+        inflated = retry_inflated_step(step, 1.25)
+        assert inflated.requests == 1250
+        assert inflated.device_ops == 1250
+        assert inflated.device_bytes == 80_000
+        assert inflated.link_bytes == step.link_bytes
+        with pytest.raises(ModelError):
+            retry_inflated_step(step, 0.9)
+
+    def test_degraded_params_scale_device_side_only(self):
+        params = FluidParams(
+            link_bandwidth=24e9,
+            device_iops=16 * MIOPS,
+            device_internal_bandwidth=32e9,
+            latency=10 * USEC,
+            device_outstanding=1024,
+        )
+        degraded = degraded_fluid_params(params, 0.75)
+        assert degraded.device_iops == pytest.approx(12 * MIOPS)
+        assert degraded.device_internal_bandwidth == pytest.approx(24e9)
+        assert degraded.device_outstanding == 768
+        assert degraded.link_bandwidth == params.link_bandwidth
+        assert degraded.latency == params.latency
+        with pytest.raises(ModelError):
+            degraded_fluid_params(params, 0.0)
+
+    def test_modeled_runtime_grows_with_error_rate(self):
+        params = FluidParams(
+            link_bandwidth=24e9,
+            device_iops=16 * MIOPS,
+            device_internal_bandwidth=32e9,
+            latency=10 * USEC,
+        )
+        steps = [
+            StepInput(
+                requests=5000, link_bytes=320_000, device_ops=5000, device_bytes=320_000
+            )
+        ]
+        times = [
+            faulty_trace_time(
+                steps, params, FaultPlan(seed=0, read_error_rate=p)
+            ).total_time
+            for p in (0.0, 0.1, 0.3)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_effective_throughput_reflects_faults(self):
+        pool = _pool(16)
+        healthy = effective_throughput_under_faults(pool, 4096)
+        assert healthy == pytest.approx(pool.throughput(4096))
+        assert effective_throughput_under_faults(pool, 4096, error_rate=0.2) < healthy
+        assert effective_throughput_under_faults(pool, 4096, failed_devices=2) < healthy
+
+
+class TestDESUnderFaults:
+    CONFIG = FluidParams(
+        link_bandwidth=24e9,
+        device_iops=8 * MIOPS,
+        device_internal_bandwidth=24e9,
+        latency=10 * USEC,
+    )
+
+    def test_faulty_des_is_deterministic(self):
+        sizes = np.full(200, 128)
+        config = DESConfig.from_fluid(self.CONFIG, num_devices=4)
+        plan = FaultPlan(seed=4, read_error_rate=0.1)
+        policy = RetryPolicy(max_attempts=10)
+        a = simulate_step_faulty(sizes, config, plan, policy)
+        b = simulate_step_faulty(sizes, config, plan, policy)
+        assert a.time == pytest.approx(b.time)
+        assert a.retries == b.retries > 0
+
+    def test_retries_cost_real_simulated_time(self):
+        sizes = np.full(200, 128)
+        config = DESConfig.from_fluid(self.CONFIG, num_devices=4)
+        clean = simulate_step(sizes, config)
+        faulty = simulate_step_faulty(
+            sizes,
+            config,
+            FaultPlan(seed=4, read_error_rate=0.2),
+            RetryPolicy(max_attempts=10),
+        )
+        assert faulty.time > clean.time
+        assert faulty.faults_injected >= faulty.retries > 0
+
+    def test_des_exhaustion_raises_typed_error(self):
+        config = DESConfig.from_fluid(self.CONFIG, num_devices=4)
+        with pytest.raises(FaultExhaustedError):
+            simulate_step_faulty(
+                np.full(10, 128),
+                config,
+                FaultPlan(seed=0, read_error_rate=1.0),
+                RetryPolicy(max_attempts=3),
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=0.02, max_value=0.25),
+    )
+    def test_fluid_model_tracks_des_under_retries(self, seed, rate):
+        """Model-vs-DES agreement (the paper's validation) holds with faults."""
+        sizes = np.full(400, 128)
+        plan = FaultPlan(seed=seed, read_error_rate=rate)
+        policy = RetryPolicy(max_attempts=10)
+        config = DESConfig.from_fluid(self.CONFIG, num_devices=4)
+        des = simulate_step_faulty(sizes, config, plan, policy)
+        step = StepInput(
+            requests=400,
+            link_bytes=400 * 128,
+            device_ops=400,
+            device_bytes=400 * 128,
+        )
+        fluid = faulty_trace_time([step], self.CONFIG, plan, policy)
+        ratio = des.time / fluid.total_time
+        assert 0.45 < ratio < 2.2
+
+
+class TestFaultExperimentAndCLI:
+    def test_run_fault_experiment_reports_exposure(self, urand_small):
+        from repro.core.experiment import xlfdd_system
+
+        result = run_fault_experiment(
+            urand_small,
+            "bfs",
+            xlfdd_system(),
+            FaultPlan(seed=3, read_error_rate=0.05),
+            RetryPolicy(max_attempts=10),
+        )
+        row = result.as_row()
+        assert row["retries"] > 0
+        assert row["slowdown"] > 1.0
+        assert result.faulty_runtime > result.healthy_runtime
+        assert "healthy" in result.health_summary
+
+    def test_cli_fault_flags_echo_the_plan(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "--scale",
+                "8",
+                "--fault-seed",
+                "3",
+                "--fault-read-error-rate",
+                "0.05",
+                "--fault-max-attempts",
+                "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault plan: seed=3" in out
+        assert "retry_policy" in out
+        assert "retries" in out
