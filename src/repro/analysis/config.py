@@ -1,0 +1,159 @@
+"""Lint configuration from ``pyproject.toml`` ``[tool.simlint]``.
+
+Recognised keys::
+
+    [tool.simlint]
+    exclude = ["*/tests/*"]          # global path excludes (fnmatch)
+    disable = ["UNIT001"]            # rule ids switched off entirely
+
+    [tool.simlint.paths]             # per-rule scope override
+    DTYPE001 = ["sim", "faults"]     # fragments or fnmatch patterns
+
+    [tool.simlint.path-excludes]     # per-rule exclude override
+    UNIT001 = ["*/units.py"]
+
+Path entries are matched against the POSIX form of each file path: a
+bare fragment ``"sim"`` matches any file under a directory named
+``sim``; anything containing a glob character is used as an ``fnmatch``
+pattern directly.
+
+The defaults baked into :func:`LintConfig.default` mirror the
+``[tool.simlint]`` table this repository ships, so the linter behaves
+identically when no TOML parser is available (``tomllib`` is stdlib
+from Python 3.11; on 3.10 we fall back to ``tomli`` when present, and
+otherwise to the defaults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path, PurePosixPath
+from typing import Any
+
+from .core import AnalysisError, Rule
+
+__all__ = ["LintConfig", "load_config"]
+
+
+def _parse_toml(path: Path) -> dict[str, Any] | None:
+    """Parse a TOML file, or None when no parser is importable."""
+    try:
+        import tomllib as toml_module  # Python >= 3.11
+    except ImportError:  # pragma: no cover - depends on interpreter
+        try:
+            import tomli as toml_module  # type: ignore[no-redef]
+        except ImportError:
+            return None
+    with path.open("rb") as handle:
+        data: dict[str, Any] = toml_module.load(handle)
+    return data
+
+
+def _match_one(path: PurePosixPath, pattern: str) -> bool:
+    """Match ``pattern`` against ``path`` (fragment or fnmatch glob)."""
+    text = str(path)
+    if any(ch in pattern for ch in "*?["):
+        return fnmatch(text, pattern)
+    # A bare fragment names a directory anywhere on the path, or the
+    # file itself ("units.py").
+    return pattern in path.parts[:-1] or path.name == pattern
+
+
+def _matches(path: str, patterns: tuple[str, ...]) -> bool:
+    posix = PurePosixPath(Path(path).as_posix())
+    return any(_match_one(posix, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (defaults merged with pyproject)."""
+
+    exclude: tuple[str, ...] = ()
+    disable: tuple[str, ...] = ()
+    paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    path_excludes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls) -> "LintConfig":
+        """The repository's shipped configuration, baked in as code."""
+        return cls(
+            exclude=("*/tests/*", "tests/*", "*/benchmarks/*", "benchmarks/*"),
+            disable=(),
+            paths={},
+            path_excludes={},
+        )
+
+    def rule_enabled(self, rule: Rule) -> bool:
+        """Whether the rule is switched on at all."""
+        return rule.id not in self.disable
+
+    def rule_applies(self, rule: Rule, path: str) -> bool:
+        """Whether ``rule`` should run on ``path`` under this config."""
+        if not self.rule_enabled(rule):
+            return False
+        if _matches(path, self.exclude):
+            return False
+        scope = self.paths.get(rule.id, rule.default_paths)
+        if scope and not _matches(path, tuple(scope)):
+            return False
+        carve = self.path_excludes.get(rule.id, rule.default_excludes)
+        if carve and _matches(path, tuple(carve)):
+            return False
+        return True
+
+
+def _as_str_tuple(value: Any, key: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise AnalysisError(f"[tool.simlint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(start: Path | str | None = None) -> LintConfig:
+    """Load ``[tool.simlint]`` from the nearest ``pyproject.toml``.
+
+    Searches ``start`` (default: the current directory) and its parents.
+    Missing file, missing table, or no TOML parser all yield the baked-in
+    defaults, so the linter runs identically everywhere.
+    """
+    base = LintConfig.default()
+    directory = Path(start) if start is not None else Path.cwd()
+    if directory.is_file():
+        directory = directory.parent
+    directory = directory.resolve()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            data = _parse_toml(pyproject)
+            if data is None:
+                return base
+            table = data.get("tool", {}).get("simlint")
+            if table is None:
+                return base
+            return _merge(base, table)
+    return base
+
+
+def _merge(base: LintConfig, table: dict[str, Any]) -> LintConfig:
+    exclude = base.exclude
+    disable = base.disable
+    paths = dict(base.paths)
+    path_excludes = dict(base.path_excludes)
+    if "exclude" in table:
+        exclude = _as_str_tuple(table["exclude"], "exclude")
+    if "disable" in table:
+        disable = _as_str_tuple(table["disable"], "disable")
+    for key, target in (("paths", paths), ("path-excludes", path_excludes)):
+        section = table.get(key, {})
+        if not isinstance(section, dict):
+            raise AnalysisError(f"[tool.simlint.{key}] must be a table")
+        for rule_id, value in section.items():
+            target[rule_id] = _as_str_tuple(value, f"{key}.{rule_id}")
+    return LintConfig(
+        exclude=exclude,
+        disable=disable,
+        paths=paths,
+        path_excludes=path_excludes,
+    )

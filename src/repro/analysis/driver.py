@@ -1,0 +1,141 @@
+"""The lint driver: walk paths, parse each file once, run the rules.
+
+The driver is deliberately simple — parse, build the shared
+:class:`~repro.analysis.core.FileContext`, hand the tree to every rule
+whose scope covers the file, then mark findings covered by inline
+directives as suppressed.  Exit-code policy lives here too:
+:meth:`LintResult.exit_code` is non-zero iff any *unsuppressed* finding
+exists, which is exactly what CI and the self-hosting test enforce.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .config import LintConfig, load_config
+from .core import AnalysisError, FileContext, Finding, Rule, all_rules, collect_aliases
+from .suppress import parse_suppressions
+
+__all__ = ["LintResult", "lint_paths", "lint_source"]
+
+
+@dataclass
+class LintResult:
+    """All findings of one lint run, plus what was scanned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        """Findings that count against the exit code."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings silenced by an inline directive."""
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (unsuppressed-wise), 1 otherwise."""
+        return 1 if self.unsuppressed else 0
+
+
+def _iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file():
+            yield path
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+
+
+def _check_file(
+    path_label: str,
+    source: str,
+    rules: Iterable[Rule],
+    config: LintConfig,
+) -> list[Finding]:
+    try:
+        tree = ast.parse(source, filename=path_label)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                message=f"file does not parse: {exc.msg}",
+                path=path_label,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    ctx = FileContext(
+        path=path_label,
+        source=source,
+        tree=tree,
+        aliases=collect_aliases(tree),
+    )
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not config.rule_applies(rule, path_label):
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.covers(finding.rule, finding.line):
+                finding = finding.suppress()
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint one in-memory module (the unit-test entry point).
+
+    With an explicit ``rules`` sequence the config's path scoping still
+    applies, so tests that want a rule to fire regardless of location
+    should pass a config whose scope covers ``path`` — or use a ``path``
+    inside the rule's default scope.
+    """
+    config = config if config is not None else LintConfig.default()
+    rules = list(rules) if rules is not None else all_rules()
+    result = LintResult(files_scanned=1)
+    result.findings = _check_file(path, source, rules, config)
+    return result
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint files and directory trees; the CLI's workhorse.
+
+    ``config`` defaults to the ``[tool.simlint]`` table of the nearest
+    ``pyproject.toml`` (searched upward from the first path).
+    """
+    file_list = list(_iter_python_files(paths))
+    if config is None:
+        anchor = Path(paths[0]) if paths else Path.cwd()
+        config = load_config(anchor)
+    rule_list = list(rules) if rules is not None else all_rules()
+    result = LintResult()
+    for path in file_list:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        result.files_scanned += 1
+        result.findings.extend(
+            _check_file(path.as_posix(), source, rule_list, config)
+        )
+    return result

@@ -1,0 +1,126 @@
+"""Render a lint run as text, JSON, or SARIF 2.1.0.
+
+The SARIF output targets the subset GitHub code scanning ingests: one
+run, one driver with per-rule metadata, one result per finding with a
+physical location.  Suppressed findings carry an ``inSource``
+suppression object (SARIF) / ``"suppressed": true`` (JSON) and are
+omitted from the text reporter unless asked for.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import all_rules
+from .driver import LintResult
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        tag = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}{tag}"
+        )
+    active = len(result.unsuppressed)
+    summary = (
+        f"{active} finding{'s' if active != 1 else ''} "
+        f"({len(result.suppressed)} suppressed) "
+        f"in {result.files_scanned} file{'s' if result.files_scanned != 1 else ''}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable dump of every finding (suppressed ones included)."""
+    payload = {
+        "tool": "simlint",
+        "files_scanned": result.files_scanned,
+        "summary": {
+            "findings": len(result.unsuppressed),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "message": finding.message,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "suppressed": finding.suppressed,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log with rule metadata and one result per finding."""
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.title.replace(" ", ""),
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    results = []
+    for finding in result.findings:
+        entry: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.suppressed:
+            entry["suppressions"] = [{"kind": "inSource"}]
+        results.append(entry)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

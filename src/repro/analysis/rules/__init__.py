@@ -1,0 +1,27 @@
+"""Rule modules; importing this package populates the registry.
+
+Each module defines one rule class decorated with
+:func:`repro.analysis.core.register`.  To add a rule, drop a module here,
+import it below, and document it in ``docs/ANALYSIS.md`` (the docs file
+is cross-checked by ``tests/test_analysis_rules.py``).
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    determinism,
+    dtypes,
+    errors_rule,
+    floats,
+    stats_rule,
+    units_rule,
+)
+
+__all__ = [
+    "determinism",
+    "dtypes",
+    "errors_rule",
+    "floats",
+    "stats_rule",
+    "units_rule",
+]

@@ -1,0 +1,93 @@
+"""DET001 — no global RNG or wall-clock in simulation code.
+
+Reproducibility is the load-bearing property of this reproduction:
+every figure, golden test, and fault replay assumes that the same seed
+produces the same bits.  Module-level RNG state (``random.random()``,
+``np.random.rand()``, ``np.random.seed()``) and wall-clock reads
+(``time.time()``, ``datetime.now()``) silently break that — randomness
+must flow through an explicitly seeded ``numpy.random.Generator``
+(``np.random.default_rng(seed)``), and simulated time through the event
+loop, never the host clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, canonical_chain, register
+
+__all__ = ["GlobalRandomnessRule"]
+
+#: Constructors of explicit, seedable RNG state — the approved way in.
+_NUMPY_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: ``random.Random(seed)`` is an explicit seeded instance; everything
+#: else on the stdlib module is shared global state (``SystemRandom`` is
+#: seedless by design, so it is banned too).
+_STDLIB_RANDOM_ALLOWED = {"Random"}
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "clock"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "datetime", "today"),
+    ("datetime", "date", "today"),
+}
+
+
+@register
+class GlobalRandomnessRule(Rule):
+    """Flag global-RNG and wall-clock calls in simulation code."""
+
+    id = "DET001"
+    title = "global RNG or wall-clock"
+    rationale = (
+        "Seed-driven determinism underpins every golden test and fault "
+        "replay; randomness must come from an explicit seeded Generator "
+        "and time from the simulated clock, never process-global state."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = canonical_chain(node.func, ctx.aliases)
+            if len(chain) < 2:
+                continue
+            if chain[:2] == ("numpy", "random"):
+                if len(chain) == 2 or chain[2] not in _NUMPY_RANDOM_ALLOWED:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to global numpy RNG '{'.'.join(chain)}'; use "
+                        "an explicit seeded np.random.default_rng(seed)",
+                    )
+                continue
+            if chain[0] == "random" and chain[1] not in _STDLIB_RANDOM_ALLOWED:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to stdlib global RNG 'random.{chain[1]}'; use an "
+                    "explicit seeded generator instead",
+                )
+                continue
+            if chain in _WALL_CLOCK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"wall-clock read '{'.'.join(chain)}'; simulation code "
+                    "must use the simulated clock (Simulator.now)",
+                )

@@ -1,0 +1,67 @@
+"""FLOAT001 — exact ``==``/``!=`` against float literals.
+
+The model-agreement suite asserts the analytical model and the DES match
+within a tolerance, precisely because float arithmetic is inexact.  An
+``x == 0.3`` deep inside model code reintroduces the failure mode the
+tolerance machinery exists to prevent: the comparison is true or false
+depending on rounding history, not on the quantity's meaning.  Genuine
+tolerance checks belong to ``math.isclose`` / ``np.isclose``; exact
+*sentinel* comparisons (a parameter still at its 0.0/1.0 default, where
+bit-exactness is the contract) are legal but must be marked
+``# simlint: disable=FLOAT001`` with a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Flag exact ``==``/``!=`` comparisons against float literals."""
+
+    id = "FLOAT001"
+    title = "exact float equality"
+    rationale = (
+        "Model-vs-DES agreement is tolerance-based by design; == against "
+        "a float literal depends on rounding history. Use math.isclose / "
+        "np.isclose, or mark an intentional exact-sentinel comparison."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                literal = next(
+                    (
+                        side
+                        for side in (left, right)
+                        if _is_float_literal(side)
+                    ),
+                    None,
+                )
+                if literal is None:
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"exact float comparison against {ast.unparse(literal)}; "
+                    "use math.isclose/np.isclose for tolerances, or mark an "
+                    "intentional sentinel with a justified suppression",
+                )

@@ -1,0 +1,77 @@
+"""STAT001 — backends must route reads through ``MemoryStats``.
+
+The paper's entire evaluation is accounting: ``t = D / T`` prices the
+bytes a traversal *actually moved*, so :class:`repro.engine.backend
+.MemoryStats` is the single source of truth for requests, fetched bytes
+and fault exposure.  A backend that serves reads without touching its
+stats (directly or via the shared ``_account`` discipline hook) makes
+every downstream number silently wrong — RAF, average transfer size,
+retry factors, the lot.
+
+The rule inspects every class in the engine/fault packages that defines
+a ``read`` method and requires the class body to reference ``stats`` or
+``_account`` somewhere (the base-class ``read`` does both; overriders
+and wrappers must keep the thread).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+__all__ = ["StatsAccountingRule"]
+
+_ACCOUNTING_NAMES = {"stats", "_account"}
+
+
+def _references_accounting(cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Attribute) and node.attr in _ACCOUNTING_NAMES:
+            return True
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name in _ACCOUNTING_NAMES
+        ):
+            return True
+    return False
+
+
+@register
+class StatsAccountingRule(Rule):
+    """Flag backend read() paths that bypass MemoryStats accounting."""
+
+    id = "STAT001"
+    title = "read path bypasses MemoryStats"
+    rationale = (
+        "t = D/T prices the bytes a backend reports; a read path that "
+        "never touches MemoryStats (stats/_account) makes RAF, transfer "
+        "size and retry accounting silently wrong."
+    )
+    default_paths = ("engine", "faults")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            read_def = next(
+                (
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == "read"
+                ),
+                None,
+            )
+            if read_def is None:
+                continue
+            if _references_accounting(node):
+                continue
+            yield ctx.finding(
+                self,
+                read_def,
+                f"class {node.name} defines read() but never references "
+                "MemoryStats ('stats') or the _account discipline hook; "
+                "unaccounted reads corrupt every D/T-derived metric",
+            )

@@ -1,0 +1,78 @@
+"""UNIT001 — magic unit literals where a ``repro.units`` constant exists.
+
+The paper mixes KB/GB, MB/s, MIOPS and microseconds; ``repro.units``
+canonicalises everything to bytes / seconds / bytes-per-second so that
+paper-facing numbers read like the paper's text (``24_000 * MB_PER_S``,
+``2.87 * USEC``).  A raw ``* 1e6`` or ``/ 1e9`` in model or device code
+hides which unit system a quantity is in — the exact class of mistake
+(decimal-vs-binary megabytes, us-vs-ns) that corrupts bandwidth and
+latency accounting without failing a single test.
+
+The rule flags multiplications/divisions by a literal whose value equals
+one of the unit constants.  Only conversion-shaped expressions (BinOp
+mult/div) are flagged — a tolerance default like ``tol=1e-6`` is not a
+unit conversion and stays legal.  ``repro/units.py`` itself, which
+*defines* the constants, is excluded by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+__all__ = ["MagicUnitLiteralRule"]
+
+#: Literal value -> suggested constant(s).  Ints and floats compare by
+#: value, so ``1_000_000`` and ``1e6`` both resolve.
+_UNIT_VALUES: dict[float, str] = {
+    1e-9: "NSEC",
+    1e-6: "USEC",
+    1e-3: "MSEC",
+    1e3: "KB / KIOPS",
+    1e6: "MB / MB_PER_S / MIOPS",
+    1e9: "GB / GB_PER_S",
+}
+
+
+def _unit_suggestion(node: ast.expr) -> str | None:
+    if not isinstance(node, ast.Constant):
+        return None
+    value = node.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return _UNIT_VALUES.get(float(value))
+
+
+@register
+class MagicUnitLiteralRule(Rule):
+    """Flag unit-conversion literals that shadow a repro.units constant."""
+
+    id = "UNIT001"
+    title = "magic unit literal"
+    rationale = (
+        "Canonical units (bytes, seconds, bytes/s) from repro.units keep "
+        "every model consistent with the paper's numbers; a raw 1e6 "
+        "conversion hides the unit system and invites decimal/binary and "
+        "us/ns mix-ups."
+    )
+    default_excludes = ("units.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            for side in (node.left, node.right):
+                suggestion = _unit_suggestion(side)
+                if suggestion is None:
+                    continue
+                literal = ast.unparse(side)
+                yield ctx.finding(
+                    self,
+                    side,
+                    f"magic unit literal {literal} in a conversion; use a "
+                    f"repro.units constant ({suggestion}) or a to_* helper",
+                )

@@ -1,0 +1,73 @@
+"""Inline suppression comments: ``# simlint: disable=RULE``.
+
+Two forms are recognised, both parsed from real comment tokens (so the
+same text inside a string literal is inert):
+
+* ``# simlint: disable=DTYPE001`` — suppresses the named rule(s) on the
+  comment's line.  Several rules separate with commas; ``disable=all``
+  suppresses everything on the line.
+* ``# simlint: disable-file=FLOAT001`` — anywhere in the file,
+  suppresses the named rule(s) for the whole file.
+
+A suppression should always carry a one-line justification next to it;
+the self-hosted codebase treats an unexplained suppression as a review
+defect (see ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """Whether a directive suppresses ``rule_id`` at ``line``."""
+        if "all" in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return "all" in rules or rule_id in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract simlint directives from the file's comment tokens.
+
+    Tokenisation errors (the driver only lints files that already parsed
+    as Python, but ``tokenize`` is stricter about e.g. trailing
+    backslashes) degrade to "no suppressions" rather than crashing the
+    lint run.
+    """
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        if match.group("kind") == "disable-file":
+            result.file_wide |= rules
+        else:
+            result.by_line.setdefault(token.start[0], set()).update(rules)
+    return result

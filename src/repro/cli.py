@@ -12,6 +12,8 @@ Subcommands
     Print Equation 6's external-memory requirements for a link.
 ``chase``
     Run the pointer-chase latency microbenchmark for a target.
+``lint``
+    Run the simulation-correctness linter (``repro lint src/``).
 """
 
 from __future__ import annotations
@@ -135,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chase.add_argument("--added-latency-us", type=float, default=0.0)
     chase.add_argument("--hops", type=int, default=256)
+
+    lint = sub.add_parser(
+        "lint", help="simulation-correctness linter (docs/ANALYSIS.md)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        dest="output_format", help="report format",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -182,7 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
             [
                 plan.describe()
                 + f" retry_policy: max_attempts={policy.max_attempts} "
-                f"backoff={policy.backoff_base * 1e6:g}us"
+                f"backoff={to_usec(policy.backoff_base):g}us"
                 f"x{policy.backoff_factor:g}",
                 result.health_summary,
                 format_table([result.as_row()], title=system.describe()),
@@ -266,6 +292,28 @@ def _cmd_evaluate(args: argparse.Namespace) -> str:
     return output
 
 
+def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
+    from .analysis import all_rules, lint_paths
+    from .analysis.reporters import render_json, render_sarif, render_text
+
+    if args.list_rules:
+        lines = [f"{rule.id}  {rule.title}\n    {rule.rationale}" for rule in all_rules()]
+        return "\n".join(lines), 0
+    result = lint_paths(args.paths)
+    if args.output_format == "json":
+        report = render_json(result)
+    elif args.output_format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result, show_suppressed=args.show_suppressed)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        report = f"report written to {args.output}"
+    return report, result.exit_code
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
@@ -273,6 +321,7 @@ _COMMANDS = {
     "requirements": _cmd_requirements,
     "evaluate": _cmd_evaluate,
     "chase": _cmd_chase,
+    "lint": _cmd_lint,
 }
 
 
@@ -285,8 +334,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

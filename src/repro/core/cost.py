@@ -22,6 +22,7 @@ from typing import Sequence
 from ..errors import ModelError
 from ..graph.csr import CSRGraph
 from ..traversal.trace import AccessTrace
+from ..units import GB
 from .runtime_model import SystemModel, predict_runtime
 
 __all__ = ["MediaCost", "MEDIA_COSTS", "system_memory_cost", "cost_performance"]
@@ -59,7 +60,7 @@ class MediaCost:
         """Total cost of ``devices`` units holding ``capacity_bytes``."""
         if capacity_bytes < 0 or devices < 1:
             raise ModelError("capacity must be >= 0 and devices >= 1")
-        gb = capacity_bytes / 1e9
+        gb = capacity_bytes / GB
         if self.tier_threshold_gb is None or gb <= self.tier_threshold_gb:
             media = gb * self.usd_per_gb
         else:

@@ -35,6 +35,7 @@ from ..traversal.cc import connected_components
 from ..traversal.pagerank import pagerank
 from ..traversal.sssp import sssp_bellman_ford
 from ..traversal.trace import AccessTrace
+from ..units import to_mb_per_s, to_usec
 from .runtime_model import RuntimeResult, SystemModel, predict_runtime
 
 __all__ = [
@@ -124,7 +125,7 @@ def cxl_system(
     remote_fraction = (devices - local_devices) / devices
     path = HOST_DRAM_GPU_LATENCY + remote_fraction * CROSS_SOCKET_LATENCY
     return SystemModel(
-        name=f"cxl+{added_latency * 1e6:g}us",
+        name=f"cxl+{to_usec(added_latency):g}us",
         method=ZeroCopyMethod.for_cxl(),
         pool=cxl_memory_pool(count=devices, added_latency=added_latency),
         link=link,
@@ -184,7 +185,7 @@ def flash_cxl_system(
     )
     remote_fraction = (devices - 1) / devices if devices > 1 else 0.0
     return SystemModel(
-        name=f"flash-cxl+{added_flash_latency * 1e6:g}us",
+        name=f"flash-cxl+{to_usec(added_flash_latency):g}us",
         method=ZeroCopyMethod.for_cxl(),
         pool=DevicePool(device=profile, count=devices),
         link=link,
@@ -300,7 +301,7 @@ class ExperimentResult:
             "runtime_s": rr.runtime,
             "raf": rr.raf,
             "avg_transfer_B": rr.avg_transfer_bytes,
-            "throughput_MBps": rr.avg_throughput / 1e6,
+            "throughput_MBps": to_mb_per_s(rr.avg_throughput),
             "bound": rr.dominant_bound(),
         }
 

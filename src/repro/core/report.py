@@ -10,6 +10,7 @@ import math
 from typing import Any, Mapping, Sequence
 
 from ..errors import ModelError
+from ..units import to_usec
 
 __all__ = [
     "format_table",
@@ -110,10 +111,10 @@ def fault_summary(stats: Any) -> dict[str, Any]:
         "timeouts": stats.timeouts,
         "evictions": stats.evictions,
         "retry_factor": stats.retry_factor,
-        "retry_wait_us": stats.retry_wait_time * 1e6,
-        "latency_p50_us": stats.latency_p50 * 1e6,
-        "latency_p99_us": stats.latency_p99 * 1e6,
-        "latency_p999_us": stats.latency_p999 * 1e6,
+        "retry_wait_us": to_usec(stats.retry_wait_time),
+        "latency_p50_us": to_usec(stats.latency_p50),
+        "latency_p99_us": to_usec(stats.latency_p99),
+        "latency_p999_us": to_usec(stats.latency_p999),
     }
 
 

@@ -163,16 +163,18 @@ class FaultyBackend:
         n = active.size
         if n == 0 or not self.plan.is_faulty:
             if n:
-                self.stats.record_latency(np.full(n, self.base_latency))
+                self.stats.record_latency(
+                    np.full(n, self.base_latency, dtype=np.float64)
+                )
                 self._requests_seen += n
                 self.clock += self.base_latency
             return data
 
-        ids = (self._requests_seen + np.arange(n)).astype(np.int64)
+        ids = self._requests_seen + np.arange(n, dtype=np.int64)
         a_starts = starts[active]
         a_lengths = lengths[active]
-        elapsed = np.zeros(n)
-        pending = np.arange(n)
+        elapsed = np.zeros(n, dtype=np.float64)
+        pending = np.arange(n, dtype=np.int64)
         attempt = 1
         while pending.size:
             devs = self._map_devices(a_starts[pending])

@@ -27,6 +27,7 @@ from ..errors import ModelError
 from ..gpu.bam import BaMMethod
 from ..gpu.xlfdd_driver import XLFDDMethod
 from ..graph.csr import CSRGraph
+from ..units import to_usec
 from .backend import FaultyBackend
 from .model import faulty_trace_time
 from .plan import FaultPlan
@@ -89,9 +90,9 @@ class FaultExperimentResult:
             "timeouts": self.stats.timeouts,
             "evictions": self.stats.evictions,
             "retry_factor": self.stats.retry_factor,
-            "latency_p50_us": self.stats.latency_p50 * 1e6,
-            "latency_p99_us": self.stats.latency_p99 * 1e6,
-            "latency_p999_us": self.stats.latency_p999 * 1e6,
+            "latency_p50_us": to_usec(self.stats.latency_p50),
+            "latency_p99_us": to_usec(self.stats.latency_p99),
+            "latency_p999_us": to_usec(self.stats.latency_p999),
         }
 
 

@@ -46,7 +46,9 @@ def expected_attempts(error_rate: float, max_attempts: int) -> float:
         raise ModelError(f"error_rate must be in [0, 1), got {error_rate}")
     if max_attempts < 1:
         raise ModelError(f"max_attempts must be >= 1, got {max_attempts}")
-    if error_rate == 0.0:
+    # Exact sentinel: only p identically 0 means "no faults configured";
+    # a tiny-but-nonzero p must still inflate D.
+    if error_rate == 0.0:  # simlint: disable=FLOAT001
         return 1.0
     return (1.0 - error_rate**max_attempts) / (1.0 - error_rate)
 
@@ -84,7 +86,9 @@ def degraded_fluid_params(
         raise ModelError(
             f"surviving_fraction must be in (0, 1], got {surviving_fraction}"
         )
-    if surviving_fraction == 1.0:
+    # Exact sentinel: 1.0 means "nothing evicted", where the caller is
+    # owed the identical params object, not a rescaled copy.
+    if surviving_fraction == 1.0:  # simlint: disable=FLOAT001
         return params
     outstanding = params.device_outstanding
     if outstanding is not None:

@@ -159,7 +159,9 @@ class FaultPlan:
 
     def transient_failures(self, request_ids: np.ndarray, attempt: int) -> np.ndarray:
         """Boolean mask: which attempts suffer a transient read error."""
-        if self.read_error_rate == 0.0:
+        # Exact sentinel: the 0.0 default disables the draw entirely; any
+        # nonzero rate, however small, must consult the hash stream.
+        if self.read_error_rate == 0.0:  # simlint: disable=FLOAT001
             return np.zeros(np.atleast_1d(request_ids).shape, dtype=bool)
         return _uniform(self.seed, request_ids, attempt, _STREAM_ERROR) < (
             self.read_error_rate
@@ -168,8 +170,9 @@ class FaultPlan:
     def spike_latencies(self, request_ids: np.ndarray, attempt: int) -> np.ndarray:
         """Extra seconds of tail latency per attempt (0 for most)."""
         ids = np.atleast_1d(request_ids)
-        if self.spike_rate == 0.0 or self.spike_scale == 0.0:
-            return np.zeros(ids.shape)
+        # Exact sentinels: spikes are off only at the exact 0.0 defaults.
+        if self.spike_rate == 0.0 or self.spike_scale == 0.0:  # simlint: disable=FLOAT001
+            return np.zeros(ids.shape, dtype=np.float64)
         gate = _uniform(self.seed, ids, attempt, _STREAM_SPIKE_GATE) < self.spike_rate
         u = _uniform(self.seed, ids, attempt, _STREAM_SPIKE_SIZE)
         spike = self.spike_scale * ((1.0 - u) ** (-1.0 / self.spike_alpha) - 1.0)
@@ -179,7 +182,7 @@ class FaultPlan:
         """Per-device service-time multiplier (stuck-slow devices)."""
         devices = np.atleast_1d(devices)
         if self.stuck_device is None:
-            return np.ones(devices.shape)
+            return np.ones(devices.shape, dtype=np.float64)
         return np.where(devices == self.stuck_device, self.stuck_factor, 1.0)
 
     # -- scalar draws (discrete-event simulator) ----------------------------

@@ -40,7 +40,7 @@ from .memsim.raf import raf_curve
 from .sim.des import DESConfig
 from .sim.pointer_chase import pointer_chase_latency
 from .traversal.bfs import bfs
-from .units import MB_PER_S, USEC, to_mb_per_s, to_usec
+from .units import MB, MB_PER_S, USEC, to_mb_per_s, to_miops, to_usec
 
 __all__ = [
     "FigureResult",
@@ -169,7 +169,7 @@ def figure4(scale: int = DEFAULT_SCALE, seed: int = 0) -> FigureResult:
     rows = [
         {
             "transfer_B": float(d),
-            "fetched_MB": float(D) / 1e6,
+            "fetched_MB": float(D) / MB,
             "throughput_MBps": to_mb_per_s(float(T)),
             "runtime_s": float(t),
         }
@@ -186,7 +186,7 @@ def figure4(scale: int = DEFAULT_SCALE, seed: int = 0) -> FigureResult:
         description="runtime vs transfer size (S=100 MIOPS, L=16 us, Gen4)",
         rows=rows,
         notes=[
-            f"slope s = {model.slope / 1e6:.0f} (the '48' of Eq. 4)",
+            f"slope s = {model.slope / MB:.0f} (the '48' of Eq. 4)",
             f"optimal transfer size d_opt = W/s = {d_opt:.0f} B",
         ],
     )
@@ -383,7 +383,7 @@ def requirements_table() -> FigureResult:
         rows.append(
             {
                 "configuration": label,
-                "min_iops_MIOPS": req.min_iops / 1e6,
+                "min_iops_MIOPS": to_miops(req.min_iops),
                 "paper_MIOPS": paper_miops,
                 "max_latency_us": to_usec(req.max_latency),
                 "paper_us": paper_usec if paper_usec is not None else "n/a",

@@ -17,6 +17,7 @@ from typing import Callable, Mapping
 
 from ..config import VERTEX_ID_BYTES
 from ..errors import GraphGenerationError
+from ..units import GB
 from .csr import CSRGraph
 from .generators import chung_lu_graph, kronecker_graph, uniform_random_graph
 
@@ -44,7 +45,7 @@ class DatasetSpec:
     @property
     def paper_edge_list_gb(self) -> float:
         """Edge list size in GB as in Table 1 (8 B per vertex ID)."""
-        return self.paper_edges * VERTEX_ID_BYTES / 1e9
+        return self.paper_edges * VERTEX_ID_BYTES / GB
 
     @property
     def paper_sublist_bytes(self) -> float:

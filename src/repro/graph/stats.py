@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import VERTEX_ID_BYTES
+from ..units import GB
 from .csr import CSRGraph
 
 __all__ = ["GraphStats", "graph_stats", "table1_row", "degree_histogram"]
@@ -79,7 +80,7 @@ def table1_row(graph: CSRGraph) -> dict[str, float | int | str]:
         "dataset": stats.name,
         "vertices": stats.num_vertices,
         "edges": stats.num_edges,
-        "edge_list_gb": stats.edge_list_bytes / 1e9,
+        "edge_list_gb": stats.edge_list_bytes / GB,
         "avg_degree": stats.avg_degree,
         "sublist_bytes": stats.avg_sublist_bytes,
     }

@@ -131,7 +131,7 @@ def simulate_step(
             link_busy_time=0.0,
             max_link_tags=0,
             max_warps=0,
-            completion_times=np.empty(0),
+            completion_times=np.empty(0, dtype=np.float64),
         )
     if devices is None:
         devices = np.arange(n, dtype=np.int64) % config.num_devices
@@ -157,7 +157,7 @@ def simulate_step(
         FifoServer(sim, f"dev{i}-bw") for i in range(config.num_devices)
     ]
     link = FifoServer(sim, "link-data")
-    completion = np.zeros(n)
+    completion = np.zeros(n, dtype=np.float64)
 
     def start_request(i: int) -> None:
         size = int(sizes[i])
@@ -246,7 +246,7 @@ def simulate_step_faulty(
             link_busy_time=0.0,
             max_link_tags=0,
             max_warps=0,
-            completion_times=np.empty(0),
+            completion_times=np.empty(0, dtype=np.float64),
         )
     if devices is None:
         devices = np.arange(n, dtype=np.int64) % config.num_devices
@@ -272,7 +272,7 @@ def simulate_step_faulty(
         FifoServer(sim, f"dev{i}-bw") for i in range(config.num_devices)
     ]
     link = FifoServer(sim, "link-data")
-    completion = np.zeros(n)
+    completion = np.zeros(n, dtype=np.float64)
     counters = {"retries": 0, "timeouts": 0, "faults": 0}
 
     def start_request(i: int) -> None:
@@ -388,5 +388,5 @@ def simulate_trace(
         link_busy_time=busy,
         max_link_tags=max_tags,
         max_warps=max_warps,
-        completion_times=np.empty(0),
+        completion_times=np.empty(0, dtype=np.float64),
     )

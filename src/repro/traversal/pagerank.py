@@ -49,7 +49,7 @@ def pagerank(
     n = graph.num_vertices
     if n == 0:
         raise TraceError("PageRank needs a non-empty graph")
-    ranks = np.full(n, 1.0 / n)
+    ranks = np.full(n, 1.0 / n, dtype=np.float64)
     degrees = graph.degrees.astype(np.float64)
     dangling = degrees == 0
     all_vertices = np.arange(n, dtype=np.int64)
@@ -62,7 +62,7 @@ def pagerank(
         neighbors, sources, _ = gather_neighbors(
             graph, all_vertices, with_sources=True
         )
-        incoming = np.zeros(n)
+        incoming = np.zeros(n, dtype=np.float64)
         np.add.at(incoming, neighbors, contrib[sources])
         dangling_mass = ranks[dangling].sum() / n
         new_ranks = (1.0 - damping) / n + damping * (incoming + dangling_mass)
@@ -89,14 +89,14 @@ def pagerank_reference(
     if n == 0:
         raise TraceError("PageRank needs a non-empty graph")
     # Column-stochastic transition matrix with uniform dangling columns.
-    matrix = np.zeros((n, n))
+    matrix = np.zeros((n, n), dtype=np.float64)
     for v in range(n):
         nbrs = graph.neighbors(v)
         if nbrs.size:
             matrix[nbrs, v] = 1.0 / nbrs.size
         else:
             matrix[:, v] = 1.0 / n
-    ranks = np.full(n, 1.0 / n)
+    ranks = np.full(n, 1.0 / n, dtype=np.float64)
     for _ in range(max_iterations):
         new_ranks = (1.0 - damping) / n + damping * (matrix @ ranks)
         if np.abs(new_ranks - ranks).sum() < tol:

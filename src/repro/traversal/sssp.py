@@ -68,7 +68,7 @@ def sssp_bellman_ford(graph: CSRGraph, source: int = 0) -> SSSPResult:
     weights = _require_weighted(graph)
     _check_source(graph, source)
     n = graph.num_vertices
-    dist = np.full(n, np.inf)
+    dist = np.full(n, np.inf, dtype=np.float64)
     dist[source] = 0.0
     frontier = np.array([source], dtype=np.int64)
     frontiers: list[np.ndarray] = []
@@ -108,7 +108,7 @@ def sssp_delta_stepping(
     if not delta > 0:
         raise TraceError(f"delta must be positive, got {delta}")
     n = graph.num_vertices
-    dist = np.full(n, np.inf)
+    dist = np.full(n, np.inf, dtype=np.float64)
     dist[source] = 0.0
     frontiers: list[np.ndarray] = []
 
@@ -172,7 +172,7 @@ def sssp_reference(graph: CSRGraph, source: int = 0) -> np.ndarray:
     _require_weighted(graph)
     _check_source(graph, source)
     n = graph.num_vertices
-    dist = np.full(n, np.inf)
+    dist = np.full(n, np.inf, dtype=np.float64)
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
     while heap:

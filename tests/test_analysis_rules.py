@@ -1,0 +1,407 @@
+"""Per-rule fixtures for the simulation-correctness linter.
+
+Every rule gets at least one positive fixture (the target snippet must
+be caught) and one negative fixture (the corrected version must stay
+silent), plus suppression handling and golden JSON/SARIF output shapes.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import LintConfig, lint_source
+from repro.analysis.core import all_rules, get_rule
+from repro.analysis.reporters import render_json, render_sarif, render_text
+
+# Paths chosen to fall inside each rule's default scope.
+SIM_PATH = "src/repro/sim/example.py"
+ENGINE_PATH = "src/repro/engine/example.py"
+CORE_PATH = "src/repro/core/example.py"
+
+
+def findings_for(source, path=CORE_PATH, rule=None, config=None):
+    result = lint_source(source, path=path, config=config)
+    found = result.unsuppressed
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+# -- DET001 ------------------------------------------------------------------
+
+
+class TestDET001:
+    def test_catches_numpy_global_rng(self):
+        src = "import numpy as np\nx = np.random.rand(10)\n"
+        (finding,) = findings_for(src, rule="DET001")
+        assert "numpy.random.rand" in finding.message
+        assert finding.line == 2
+
+    def test_catches_numpy_global_seed(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert findings_for(src, rule="DET001")
+
+    def test_catches_stdlib_random(self):
+        src = "import random\nx = random.random()\n"
+        (finding,) = findings_for(src, rule="DET001")
+        assert "random.random" in finding.message
+
+    def test_catches_wall_clock(self):
+        src = "import time\nstart = time.time()\n"
+        assert findings_for(src, rule="DET001")
+
+    def test_catches_datetime_now(self):
+        src = "from datetime import datetime\nstamp = datetime.now()\n"
+        assert findings_for(src, rule="DET001")
+
+    def test_allows_seeded_generator(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "x = rng.random(10)\n"
+        )
+        assert not findings_for(src, rule="DET001")
+
+    def test_allows_seeded_stdlib_instance(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert not findings_for(src, rule="DET001")
+
+
+# -- UNIT001 -----------------------------------------------------------------
+
+
+class TestUNIT001:
+    def test_catches_magic_time_conversion(self):
+        src = "def f(seconds):\n    return seconds * 1e6\n"
+        (finding,) = findings_for(src, rule="UNIT001")
+        assert "USEC" in finding.message or "MIOPS" in finding.message
+
+    def test_catches_magic_size_division(self):
+        src = "def f(n):\n    return n / 1_000_000_000\n"
+        (finding,) = findings_for(src, rule="UNIT001")
+        assert "GB" in finding.message
+
+    def test_allows_units_constants(self):
+        src = (
+            "from repro.units import USEC, to_usec\n"
+            "def f(seconds):\n"
+            "    return to_usec(seconds) + 2 * USEC\n"
+        )
+        assert not findings_for(src, rule="UNIT001")
+
+    def test_tolerance_defaults_are_not_conversions(self):
+        src = "def f(x, tol=1e-6):\n    return abs(x) < tol\n"
+        assert not findings_for(src, rule="UNIT001")
+
+    def test_units_module_itself_is_exempt(self):
+        src = "USEC = 1e-6\nMB_PER_S = 1.0 * 1e6\n"
+        assert not findings_for(src, path="src/repro/units.py", rule="UNIT001")
+
+
+# -- DTYPE001 ----------------------------------------------------------------
+
+
+class TestDTYPE001:
+    @pytest.mark.parametrize(
+        "alloc",
+        ["np.zeros(n)", "np.empty(n)", "np.arange(n)", "np.full(n, -1)",
+         "np.ones(n)"],
+    )
+    def test_catches_dtypeless_allocations(self, alloc):
+        src = f"import numpy as np\ndef f(n):\n    return {alloc}\n"
+        (finding,) = findings_for(src, path=SIM_PATH, rule="DTYPE001")
+        assert "dtype" in finding.message
+
+    @pytest.mark.parametrize(
+        "alloc",
+        [
+            "np.zeros(n, dtype=np.float64)",
+            "np.arange(n, dtype=np.int64)",
+            "np.full(n, -1, dtype=np.int64)",
+        ],
+    )
+    def test_allows_explicit_dtype(self, alloc):
+        src = f"import numpy as np\ndef f(n):\n    return {alloc}\n"
+        assert not findings_for(src, path=SIM_PATH, rule="DTYPE001")
+
+    def test_scoped_to_simulation_packages(self):
+        src = "import numpy as np\ndef f(n):\n    return np.zeros(n)\n"
+        assert not findings_for(src, path=CORE_PATH, rule="DTYPE001")
+
+    def test_scope_overridable_from_config(self):
+        config = LintConfig(paths={"DTYPE001": ("core",)})
+        src = "import numpy as np\ndef f(n):\n    return np.zeros(n)\n"
+        assert findings_for(src, path=CORE_PATH, rule="DTYPE001", config=config)
+
+
+# -- FLOAT001 ----------------------------------------------------------------
+
+
+class TestFLOAT001:
+    def test_catches_float_equality(self):
+        src = "def f(x):\n    return x == 0.3\n"
+        (finding,) = findings_for(src, rule="FLOAT001")
+        assert "0.3" in finding.message
+
+    def test_catches_float_inequality(self):
+        src = "def f(x):\n    return x != 1.0\n"
+        assert findings_for(src, rule="FLOAT001")
+
+    def test_catches_negative_literal(self):
+        src = "def f(x):\n    return x == -1.0\n"
+        assert findings_for(src, rule="FLOAT001")
+
+    def test_allows_isclose(self):
+        src = (
+            "import math\n"
+            "def f(x):\n"
+            "    return math.isclose(x, 0.3, rel_tol=1e-9)\n"
+        )
+        assert not findings_for(src, rule="FLOAT001")
+
+    def test_allows_integer_comparisons(self):
+        src = "def f(x):\n    return x == 0\n"
+        assert not findings_for(src, rule="FLOAT001")
+
+    def test_allows_float_ordering(self):
+        src = "def f(x):\n    return x >= 0.5\n"
+        assert not findings_for(src, rule="FLOAT001")
+
+
+# -- ERR001 ------------------------------------------------------------------
+
+
+class TestERR001:
+    def test_catches_bare_except(self):
+        src = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+        (finding,) = findings_for(src, rule="ERR001")
+        assert "bare" in finding.message
+
+    def test_catches_swallowing_except_exception(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        (finding,) = findings_for(src, rule="ERR001")
+        assert "swallows" in finding.message
+
+    def test_catches_builtin_raise(self):
+        src = "def f(x):\n    raise ValueError(f'bad {x}')\n"
+        (finding,) = findings_for(src, rule="ERR001")
+        assert "ValueError" in finding.message
+
+    def test_allows_typed_repro_error(self):
+        src = (
+            "from repro.errors import ConfigError\n"
+            "def f(x):\n"
+            "    raise ConfigError(f'bad {x}')\n"
+        )
+        assert not findings_for(src, rule="ERR001")
+
+    def test_allows_reraise_and_recorded_handler(self):
+        src = (
+            "def f(log):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception as exc:\n"
+            "        log.warning('retrying: %s', exc)\n"
+        )
+        assert not findings_for(src, rule="ERR001")
+
+    def test_allows_programming_error_raises(self):
+        # repro.errors documents TypeError etc. as deliberate pass-through.
+        src = "def f(x):\n    raise TypeError('not serialisable')\n"
+        assert not findings_for(src, rule="ERR001")
+
+
+# -- STAT001 -----------------------------------------------------------------
+
+
+class TestSTAT001:
+    UNACCOUNTED = (
+        "class SneakyBackend:\n"
+        "    def __init__(self, inner):\n"
+        "        self.inner = inner\n"
+        "    def read(self, starts, lengths):\n"
+        "        return self.inner._gather(starts, lengths)\n"
+    )
+
+    def test_catches_unaccounted_read(self):
+        (finding,) = findings_for(
+            self.UNACCOUNTED, path=ENGINE_PATH, rule="STAT001"
+        )
+        assert "SneakyBackend" in finding.message
+
+    def test_allows_accounting_read(self):
+        src = (
+            "class HonestBackend:\n"
+            "    def read(self, starts, lengths):\n"
+            "        self._account(starts, lengths)\n"
+            "        self.stats.useful_bytes += int(lengths.sum())\n"
+            "        return self._gather(starts, lengths)\n"
+            "    def _account(self, starts, lengths):\n"
+            "        self.stats.requests += len(starts)\n"
+        )
+        assert not findings_for(src, path=ENGINE_PATH, rule="STAT001")
+
+    def test_scoped_to_backend_packages(self):
+        assert not findings_for(self.UNACCOUNTED, path=CORE_PATH, rule="STAT001")
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_inline_disable_suppresses_on_that_line(self):
+        src = (
+            "def f(x):\n"
+            "    return x == 0.5  # simlint: disable=FLOAT001 (sentinel)\n"
+        )
+        result = lint_source(src, path=CORE_PATH)
+        assert not result.unsuppressed
+        (finding,) = result.suppressed
+        assert finding.rule == "FLOAT001"
+        assert result.exit_code == 0
+
+    def test_disable_only_covers_named_rule(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.zeros(n) == 0.5  # simlint: disable=FLOAT001\n"
+        )
+        result = lint_source(src, path=SIM_PATH)
+        assert [f.rule for f in result.unsuppressed] == ["DTYPE001"]
+
+    def test_disable_all_and_comma_lists(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.zeros(n) == 0.5  # simlint: disable=FLOAT001,DTYPE001\n"
+        )
+        assert not lint_source(src, path=SIM_PATH).unsuppressed
+        src_all = src.replace("disable=FLOAT001,DTYPE001", "disable=all")
+        assert not lint_source(src_all, path=SIM_PATH).unsuppressed
+
+    def test_file_wide_disable(self):
+        src = (
+            "# simlint: disable-file=FLOAT001 (fixture data below)\n"
+            "def f(x):\n"
+            "    return x == 0.5\n"
+            "def g(x):\n"
+            "    return x != 1.5\n"
+        )
+        result = lint_source(src, path=CORE_PATH)
+        assert not result.unsuppressed
+        assert len(result.suppressed) == 2
+
+    def test_directive_inside_string_is_inert(self):
+        src = (
+            "TEXT = 'simlint: disable=FLOAT001'\n"
+            "def f(x):\n"
+            "    return x == 0.5\n"
+        )
+        assert lint_source(src, path=CORE_PATH).unsuppressed
+
+
+# -- reporters ---------------------------------------------------------------
+
+
+GOLDEN_SRC = (
+    "def f(x):\n"
+    "    return x == 0.5\n"
+    "def g(x):\n"
+    "    return x != 1.5  # simlint: disable=FLOAT001 (sentinel)\n"
+)
+
+
+class TestReporters:
+    @pytest.fixture()
+    def result(self):
+        return lint_source(GOLDEN_SRC, path="pkg/mod.py")
+
+    def test_text_report(self, result):
+        text = render_text(result)
+        assert "pkg/mod.py:2:11: FLOAT001" in text
+        assert text.endswith("1 finding (1 suppressed) in 1 file")
+        assert "(suppressed)" not in text
+        assert "(suppressed)" in render_text(result, show_suppressed=True)
+
+    def test_json_golden(self, result):
+        payload = json.loads(render_json(result))
+        assert payload["tool"] == "simlint"
+        assert payload["files_scanned"] == 1
+        assert payload["summary"] == {"findings": 1, "suppressed": 1}
+        active, suppressed = payload["findings"]
+        assert active == {
+            "rule": "FLOAT001",
+            "message": active["message"],  # wording is free to evolve
+            "path": "pkg/mod.py",
+            "line": 2,
+            "col": 11,
+            "suppressed": False,
+        }
+        assert suppressed["line"] == 4 and suppressed["suppressed"] is True
+
+    def test_sarif_golden(self, result):
+        log = json.loads(render_sarif(result))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        assert {r["id"] for r in driver["rules"]} == {
+            "DET001", "DTYPE001", "ERR001", "FLOAT001", "STAT001", "UNIT001",
+        }
+        active, suppressed = run["results"]
+        assert active["ruleId"] == "FLOAT001"
+        location = active["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+        assert location["region"] == {"startLine": 2, "startColumn": 12}
+        assert "suppressions" not in active
+        assert suppressed["suppressions"] == [{"kind": "inSource"}]
+
+
+# -- framework ---------------------------------------------------------------
+
+
+class TestFramework:
+    def test_registry_has_all_six_rules(self):
+        assert {rule.id for rule in all_rules()} == {
+            "DET001", "DTYPE001", "ERR001", "FLOAT001", "STAT001", "UNIT001",
+        }
+        for rule in all_rules():
+            assert rule.title and rule.rationale
+
+    def test_get_rule_rejects_unknown_id(self):
+        from repro.analysis.core import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            get_rule("NOPE999")
+
+    def test_syntax_error_becomes_parse_finding(self):
+        result = lint_source("def f(:\n", path=CORE_PATH)
+        (finding,) = result.unsuppressed
+        assert finding.rule == "PARSE"
+        assert result.exit_code == 1
+
+    def test_disable_from_config(self):
+        config = LintConfig(disable=("FLOAT001",))
+        src = "def f(x):\n    return x == 0.5\n"
+        assert not findings_for(src, config=config)
+
+    def test_global_exclude_skips_test_code(self):
+        src = "def f(x):\n    return x == 0.5\n"
+        config = LintConfig.default()
+        assert not findings_for(
+            src, path="tests/test_example.py", config=config
+        )
+
+    def test_rules_documented_in_analysis_md(self):
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parent.parent / "docs" / "ANALYSIS.md"
+        text = doc.read_text(encoding="utf-8")
+        for rule in all_rules():
+            assert rule.id in text, f"{rule.id} missing from docs/ANALYSIS.md"
