@@ -11,16 +11,13 @@ Run: ``python examples/quickstart.py [scale]``
 import sys
 
 from repro import (
-    bam_system,
-    cxl_system,
-    emogi_system,
+    graph_stats,
     load_dataset,
     predict_runtime,
     run_algorithm,
-    xlfdd_system,
+    systems,
 )
 from repro.core.report import format_table
-from repro.graph.stats import graph_stats
 from repro.units import USEC, time_human
 
 
@@ -47,16 +44,16 @@ def main() -> None:
     from repro.interconnect import PCIeLink
 
     link = PCIeLink.from_name("gen4")
-    systems = [
-        emogi_system(link),                            # host DRAM baseline
-        cxl_system(0.0, link, devices=12),             # CXL, bridge at +0 us
-        cxl_system(2 * USEC, link, devices=12),        # CXL, bridge at +2 us
-        xlfdd_system(link),                            # 16 low-latency flash drives
-        bam_system(link),                              # BaM on 4 NVMe SSDs
+    configurations = [
+        systems.get("emogi", link),           # host DRAM baseline
+        systems.get("cxl", link, devices=12),  # CXL, bridge at +0 us
+        systems.get("cxl", link, added_latency=2 * USEC, devices=12),
+        systems.get("xlfdd", link),           # 16 low-latency flash drives
+        systems.get("bam", link),             # BaM on 4 NVMe SSDs
     ]
     rows = []
     baseline = None
-    for system in systems:
+    for system in configurations:
         result = predict_runtime(trace, system)
         if baseline is None:
             baseline = result.runtime

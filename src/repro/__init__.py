@@ -9,14 +9,19 @@ its evaluation.  See ``DESIGN.md`` for the system inventory and
 
 Quickstart::
 
-    from repro import load_dataset, run_algorithm, emogi_system, cxl_system
+    from repro import load_dataset, run_algorithm, systems
     from repro.core import predict_runtime
 
     graph = load_dataset("urand", scale=16)
     trace = run_algorithm(graph, "bfs")
-    dram = predict_runtime(trace, emogi_system())
-    cxl = predict_runtime(trace, cxl_system(added_latency=1e-6))
+    dram = predict_runtime(trace, systems.get("emogi"))
+    cxl = predict_runtime(trace, systems.get("cxl", added_latency=1e-6))
     print(cxl.runtime / dram.runtime)
+
+System configurations resolve by name through :mod:`repro.systems`
+(``systems.available()`` lists them); telemetry lives in
+:mod:`repro.telemetry` (``Tracer``, ``use_tracer``, exporters — see
+docs/TELEMETRY.md).
 
 Subpackages
 -----------
@@ -39,6 +44,11 @@ Subpackages
 ``faults``
     Seeded fault injection (transient errors, latency spikes, device
     dropout), retries, and pool-level graceful degradation.
+``telemetry``
+    Zero-dependency tracing (spans/events/counters) and metrics with
+    JSONL / Chrome-trace / profile exporters.
+``systems``
+    Name -> system-configuration registry shared by the CLI and sweeps.
 """
 
 from .graph import (
@@ -65,9 +75,11 @@ from .core import (
     cxl_system,
     run_algorithm,
     run_experiment,
+    run_evaluation,
     predict_runtime,
     requirements_for,
 )
+from .engine.engine import ExternalGraphEngine
 from .faults import (
     FaultPlan,
     RetryPolicy,
@@ -75,6 +87,15 @@ from .faults import (
     faulty_factory,
     run_fault_experiment,
 )
+from .telemetry import (
+    MetricRegistry,
+    NullTracer,
+    Tracer,
+    get_registry,
+    get_tracer,
+    use_tracer,
+)
+from . import systems
 
 __version__ = "1.0.0"
 
@@ -98,12 +119,21 @@ __all__ = [
     "cxl_system",
     "run_algorithm",
     "run_experiment",
+    "run_evaluation",
     "predict_runtime",
     "requirements_for",
+    "ExternalGraphEngine",
     "FaultPlan",
     "RetryPolicy",
     "FaultyBackend",
     "faulty_factory",
     "run_fault_experiment",
+    "Tracer",
+    "NullTracer",
+    "MetricRegistry",
+    "get_tracer",
+    "get_registry",
+    "use_tracer",
+    "systems",
     "__version__",
 ]

@@ -13,6 +13,7 @@ from . import (  # noqa: F401
     dtypes,
     errors_rule,
     floats,
+    obs_rule,
     stats_rule,
     units_rule,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "dtypes",
     "errors_rule",
     "floats",
+    "obs_rule",
     "stats_rule",
     "units_rule",
 ]

@@ -14,6 +14,13 @@ Subcommands
     Run the pointer-chase latency microbenchmark for a target.
 ``lint``
     Run the simulation-correctness linter (``repro lint src/``).
+``profile``
+    Run a traced traversal on the functional engine and print the top
+    spans by inclusive time (``repro profile --algorithm bfs``).
+
+``run`` and ``profile`` accept ``--trace PATH`` to write the collected
+telemetry as JSON-lines (``--trace-format jsonl``) or a Chrome
+trace-event file loadable in Perfetto (``--trace-format chrome``).
 """
 
 from __future__ import annotations
@@ -22,14 +29,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from . import figures
-from .core.experiment import (
-    bam_system,
-    cxl_system,
-    emogi_system,
-    run_experiment,
-    xlfdd_system,
-)
+from . import figures, systems
+from .core.experiment import run_experiment
 from .core.report import format_table
 from .core.requirements import requirements_for
 from .errors import ReproError
@@ -63,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--system",
         default="emogi",
-        choices=["emogi", "bam", "xlfdd", "cxl"],
+        choices=systems.available(),
         help="system configuration to price the workload on",
     )
     run.add_argument(
@@ -77,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--alignment", type=int, default=16, help="alignment (xlfdd system only)"
     )
+    _add_trace_args(run)
     fault = run.add_argument_group(
         "fault injection",
         "deterministic device-fault experiments (repro.faults); any of "
@@ -161,7 +163,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="traced traversal on the functional engine; top spans by time",
+    )
+    _add_dataset_args(profile)
+    profile.add_argument(
+        "--algorithm", default="bfs", choices=["bfs", "sssp", "cc"]
+    )
+    profile.add_argument(
+        "--system",
+        default="xlfdd",
+        choices=systems.available(),
+        help="system whose access discipline backs the engine",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="span names to show (default 10)",
+    )
+    profile.add_argument(
+        "--flamegraph", action="store_true",
+        help="also print collapsed flamegraph stacks",
+    )
+    _add_trace_args(profile)
     return parser
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="collect telemetry and write it to PATH",
+    )
+    parser.add_argument(
+        "--trace-format", default="chrome", choices=["jsonl", "chrome"],
+        help="trace file format: JSON-lines or Chrome trace events "
+        "(Perfetto-loadable; default)",
+    )
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -177,18 +215,46 @@ def _cmd_stats(args: argparse.Namespace) -> str:
     return format_table([graph_stats(graph).as_dict()], title="dataset statistics")
 
 
-def _cmd_run(args: argparse.Namespace) -> str:
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+def _resolve_system(args: argparse.Namespace):
+    """Build the requested system via the registry, applying CLI knobs."""
     link_name = args.link or ("gen3" if args.system == "cxl" else "gen4")
     link = PCIeLink.from_name(link_name)
-    if args.system == "emogi":
-        system = emogi_system(link)
-    elif args.system == "bam":
-        system = bam_system(link)
-    elif args.system == "xlfdd":
-        system = xlfdd_system(link, alignment_bytes=args.alignment)
+    kwargs: dict[str, object] = {}
+    if args.system == "xlfdd":
+        kwargs["alignment_bytes"] = args.alignment
+    if args.system == "cxl":
+        kwargs["added_latency"] = args.added_latency_us * USEC
+    return systems.get(args.system, link, **kwargs)
+
+
+def _write_trace(tracer, args: argparse.Namespace) -> str:
+    """Write the tracer's records to ``args.trace`` in the chosen format."""
+    from .telemetry import write_chrome_trace, write_jsonl
+
+    if args.trace_format == "chrome":
+        path = write_chrome_trace(tracer.records, args.trace)
     else:
-        system = cxl_system(args.added_latency_us * USEC, link)
+        path = write_jsonl(tracer.records, args.trace)
+    return (
+        f"trace written to {path} "
+        f"({len(tracer.records)} records, {args.trace_format})"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    from .telemetry import NULL_TRACER, Tracer, use_tracer
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    system = _resolve_system(args)
+    tracer = Tracer() if args.trace else NULL_TRACER
+    with use_tracer(tracer):
+        output = _run_experiment_body(args, graph, system)
+    if args.trace:
+        output += "\n" + _write_trace(tracer, args)
+    return output
+
+
+def _run_experiment_body(args: argparse.Namespace, graph, system) -> str:
     fault_mode = (
         args.fault_seed is not None
         or args.fault_read_error_rate > 0
@@ -314,6 +380,44 @@ def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     return report, result.exit_code
 
 
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from .core.experiment import default_source
+    from .engine.engine import ExternalGraphEngine
+    from .faults.experiment import backend_factory_for
+    from .telemetry import (
+        Tracer,
+        render_flamegraph,
+        render_profile,
+        use_tracer,
+    )
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    system = systems.get(args.system)
+    if args.algorithm == "sssp" and not graph.is_weighted:
+        graph = graph.with_uniform_random_weights(seed=0)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        engine = ExternalGraphEngine(graph, backend_factory_for(system))
+        if args.algorithm == "bfs":
+            run = engine.bfs(default_source(graph))
+        elif args.algorithm == "sssp":
+            run = engine.sssp(default_source(graph))
+        else:
+            run = engine.connected_components()
+    parts = [
+        f"{args.algorithm} on {graph.name} via {system.name}: "
+        f"{run.steps} steps, {run.stats.fetched_bytes:,} B fetched "
+        f"(RAF {run.stats.read_amplification:.2f})",
+        "",
+        render_profile(tracer.records, top=args.top),
+    ]
+    if args.flamegraph:
+        parts += ["", render_flamegraph(tracer.records)]
+    if args.trace:
+        parts.append(_write_trace(tracer, args))
+    return "\n".join(parts)
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
@@ -322,6 +426,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "chase": _cmd_chase,
     "lint": _cmd_lint,
+    "profile": _cmd_profile,
 }
 
 

@@ -30,6 +30,7 @@ from ..gpu.xlfdd_driver import XLFDDMethod
 from ..gpu.zerocopy import ZeroCopyMethod
 from ..graph.csr import CSRGraph
 from ..interconnect.pcie import PCIeLink
+from ..telemetry.tracer import get_tracer
 from ..traversal.bfs import bfs
 from ..traversal.cc import connected_components
 from ..traversal.pagerank import pagerank
@@ -320,10 +321,16 @@ def run_experiment(
     systems (the usual pattern in sweeps — the paper's figures all compare
     systems on identical workloads).
     """
-    if trace is None:
-        trace = run_algorithm(graph, algorithm, source)
-    return ExperimentResult(
+    with get_tracer().span(
+        "experiment.run",
         graph=graph.name,
         algorithm=algorithm,
-        runtime_result=predict_runtime(trace, system),
-    )
+        system=system.name,
+    ):
+        if trace is None:
+            trace = run_algorithm(graph, algorithm, source)
+        return ExperimentResult(
+            graph=graph.name,
+            algorithm=algorithm,
+            runtime_result=predict_runtime(trace, system),
+        )

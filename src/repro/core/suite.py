@@ -15,16 +15,14 @@ from typing import Sequence
 from ..errors import ModelError
 from ..graph.datasets import load_dataset
 from ..interconnect.pcie import PCIeLink
+from ..telemetry.tracer import get_tracer
 from ..units import USEC
-from .experiment import (
-    bam_system,
-    cxl_system,
-    emogi_system,
-    run_algorithm,
-    run_experiment,
-    xlfdd_system,
-)
+from .experiment import run_algorithm, run_experiment
 from .report import format_table, geometric_mean
+
+# System configurations resolve through the shared registry so the suite
+# prices exactly what ``repro run --system <name>`` would.
+from .. import systems as systems_registry
 
 __all__ = ["EvaluationReport", "run_evaluation"]
 
@@ -88,48 +86,67 @@ def run_evaluation(
     xlfdd_norms: list[float] = []
     bam_norms: list[float] = []
     cxl_flat: list[float] = []
+    tracer = get_tracer()
     for dataset in datasets:
         graph = load_dataset(dataset, scale=scale, seed=seed)
         for algorithm in algorithms:
-            trace = run_algorithm(graph, algorithm)
-            # Figure 6 matrix on Gen4.
-            baseline4 = run_experiment(
-                graph, algorithm, emogi_system(gen4), trace=trace
-            ).runtime
-            for system in (xlfdd_system(gen4), bam_system(gen4)):
-                result = run_experiment(graph, algorithm, system, trace=trace)
-                norm = result.runtime / baseline4
-                (xlfdd_norms if "xlfdd" in system.name else bam_norms).append(norm)
-                report.comparison_rows.append(
-                    {
-                        "dataset": dataset,
-                        "algorithm": algorithm,
-                        "system": system.name,
-                        "normalized_runtime": norm,
-                    }
-                )
-            # Figure 11 matrix on Gen3.
-            baseline3 = run_experiment(
-                graph, algorithm, emogi_system(gen3), trace=trace
-            ).runtime
-            for added_us in added_latencies_us:
-                result = run_experiment(
+            with tracer.span(
+                "evaluate.workload", dataset=dataset, algorithm=algorithm
+            ):
+                trace = run_algorithm(graph, algorithm)
+                # Figure 6 matrix on Gen4.
+                baseline4 = run_experiment(
                     graph,
                     algorithm,
-                    cxl_system(added_us * USEC, gen3),
+                    systems_registry.get("emogi", gen4),
                     trace=trace,
-                )
-                norm = result.runtime / baseline3
-                if added_us == 0:
-                    cxl_flat.append(norm)
-                report.latency_rows.append(
-                    {
-                        "dataset": dataset,
-                        "algorithm": algorithm,
-                        "added_latency_us": added_us,
-                        "normalized_runtime": norm,
-                    }
-                )
+                ).runtime
+                for system in (
+                    systems_registry.get("xlfdd", gen4),
+                    systems_registry.get("bam", gen4),
+                ):
+                    result = run_experiment(
+                        graph, algorithm, system, trace=trace
+                    )
+                    norm = result.runtime / baseline4
+                    (
+                        xlfdd_norms if "xlfdd" in system.name else bam_norms
+                    ).append(norm)
+                    report.comparison_rows.append(
+                        {
+                            "dataset": dataset,
+                            "algorithm": algorithm,
+                            "system": system.name,
+                            "normalized_runtime": norm,
+                        }
+                    )
+                # Figure 11 matrix on Gen3.
+                baseline3 = run_experiment(
+                    graph,
+                    algorithm,
+                    systems_registry.get("emogi", gen3),
+                    trace=trace,
+                ).runtime
+                for added_us in added_latencies_us:
+                    result = run_experiment(
+                        graph,
+                        algorithm,
+                        systems_registry.get(
+                            "cxl", gen3, added_latency=added_us * USEC
+                        ),
+                        trace=trace,
+                    )
+                    norm = result.runtime / baseline3
+                    if added_us == 0:
+                        cxl_flat.append(norm)
+                    report.latency_rows.append(
+                        {
+                            "dataset": dataset,
+                            "algorithm": algorithm,
+                            "added_latency_us": added_us,
+                            "normalized_runtime": norm,
+                        }
+                    )
     report.xlfdd_geomean = geometric_mean(xlfdd_norms)
     report.bam_geomean = geometric_mean(bam_norms)
     report.cxl_flat_worst = max(cxl_flat)

@@ -15,16 +15,15 @@ from typing import Sequence
 from ..errors import ModelError
 from ..graph.csr import CSRGraph
 from ..interconnect.pcie import PCIeLink
+from ..telemetry.tracer import get_tracer
 from ..traversal.trace import AccessTrace
-from .experiment import (
-    bam_system,
-    cxl_system,
-    emogi_system,
-    run_algorithm,
-    run_experiment,
-    xlfdd_system,
-)
+from .experiment import run_algorithm, run_experiment
 from .runtime_model import SystemModel, predict_runtime
+
+# Late binding through the registry (repro.systems) keeps every sweep in
+# lock-step with the CLI's system names; aliased because
+# ``method_comparison`` has a ``systems`` parameter.
+from .. import systems as systems_registry
 
 __all__ = [
     "SweepPoint",
@@ -67,10 +66,15 @@ def alignment_sweep(
     comparison point the figure overlays).
     """
     link = link or PCIeLink.from_name("gen4")
-    baseline = predict_runtime(trace, emogi_system(link)).runtime
+    tracer = get_tracer()
+    baseline = predict_runtime(trace, systems_registry.get("emogi", link)).runtime
     points: list[SweepPoint] = []
     for alignment in alignments:
-        result = predict_runtime(trace, xlfdd_system(link, alignment_bytes=alignment))
+        with tracer.span("sweep.alignment.point", alignment=int(alignment)):
+            result = predict_runtime(
+                trace,
+                systems_registry.get("xlfdd", link, alignment_bytes=alignment),
+            )
         points.append(
             SweepPoint(
                 x=float(alignment),
@@ -82,7 +86,7 @@ def alignment_sweep(
         )
     out = {"xlfdd": points}
     if include_bam:
-        result = predict_runtime(trace, bam_system(link))
+        result = predict_runtime(trace, systems_registry.get("bam", link))
         out["bam"] = [
             SweepPoint(
                 x=4096.0,
@@ -108,10 +112,17 @@ def cxl_latency_sweep(
     (Gen 3.0 by default, as in Section 4.2.2).
     """
     link = link or PCIeLink.from_name("gen3")
-    baseline = predict_runtime(trace, emogi_system(link)).runtime
+    tracer = get_tracer()
+    baseline = predict_runtime(trace, systems_registry.get("emogi", link)).runtime
     points = []
     for added in added_latencies:
-        result = predict_runtime(trace, cxl_system(added, link, devices=devices))
+        with tracer.span("sweep.cxl_latency.point", added_latency=added):
+            result = predict_runtime(
+                trace,
+                systems_registry.get(
+                    "cxl", link, added_latency=added, devices=devices
+                ),
+            )
         points.append(
             SweepPoint(
                 x=added,
@@ -141,13 +152,19 @@ def method_comparison(
     """
     link = link or PCIeLink.from_name("gen4")
     if systems is None:
-        systems = (xlfdd_system(link), bam_system(link))
+        systems = (
+            systems_registry.get("xlfdd", link),
+            systems_registry.get("bam", link),
+        )
     rows: list[dict[str, float | str]] = []
     for graph in graphs:
         for algorithm in algorithms:
             trace = run_algorithm(graph, algorithm, source)
             baseline = run_experiment(
-                graph, algorithm, emogi_system(link), trace=trace
+                graph,
+                algorithm,
+                systems_registry.get("emogi", link),
+                trace=trace,
             ).runtime
             for system in systems:
                 result = run_experiment(graph, algorithm, system, trace=trace)

@@ -17,7 +17,6 @@ mirror :mod:`repro.gpu`'s access methods:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,6 +24,8 @@ from ..config import GPU_CACHE_LINE_BYTES, GPU_SECTOR_BYTES
 from ..errors import DeviceError
 from ..memsim.alignment import aligned_span, expand_to_blocks, split_by_max_transfer
 from ..memsim.cache import CacheModel, StepLocalCache
+from ..telemetry.metrics import MetricRegistry
+from ..units import to_usec
 
 __all__ = [
     "MemoryStats",
@@ -35,7 +36,25 @@ __all__ = [
 ]
 
 
-@dataclass
+def _stat(name: str, doc: str, cast: type = int) -> property:
+    """A MemoryStats field stored in the instance's metric registry.
+
+    Read-modify-write assignments (``stats.retries += n``) keep working:
+    the getter reads the backing ``memory.<name>`` counter, the setter
+    overwrites it.
+    """
+    key = f"memory.{name}"
+
+    def _get(self: "MemoryStats"):
+        return cast(self.registry.counter(key).value)
+
+    def _set(self: "MemoryStats", value) -> None:
+        self.registry.counter(key).set(value)
+
+    _get.__doc__ = doc
+    return property(_get, _set)
+
+
 class MemoryStats:
     """Running counters of external-memory traffic.
 
@@ -43,17 +62,68 @@ class MemoryStats:
     ``faults_injected``) and the observed-latency samples stay zero/empty
     for plain backends; :class:`repro.faults.FaultyBackend` populates them
     so every experiment can report how much fault machinery it exercised.
+
+    Every counter is backed by a ``memory.*`` entry in a
+    :class:`~repro.telemetry.metrics.MetricRegistry` (a private one per
+    instance by default; pass ``registry`` to publish into a shared one).
+    The attribute API is unchanged — ``stats.requests += n`` still works —
+    and :meth:`record_latency` additionally feeds the
+    ``memory.latency_us`` histogram.
     """
 
-    requests: int = 0
-    fetched_bytes: int = 0
-    useful_bytes: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    evictions: int = 0
-    faults_injected: int = 0
-    retry_wait_time: float = 0.0
-    latency_samples: list = field(default_factory=list, repr=False)
+    requests = _stat("requests", "Issued device requests.")
+    fetched_bytes = _stat("fetched_bytes", "Bytes the device actually moved.")
+    useful_bytes = _stat("useful_bytes", "Bytes the traversal asked for.")
+    retries = _stat("retries", "Reissued attempts after failures.")
+    timeouts = _stat("timeouts", "Attempts cut off at the retry timeout.")
+    evictions = _stat("evictions", "Pool members evicted by health tracking.")
+    faults_injected = _stat("faults_injected", "Injected per-attempt faults.")
+    retry_wait_time = _stat(
+        "retry_wait_time", "Total backoff wait in seconds.", cast=float
+    )
+
+    def __init__(
+        self,
+        requests: int = 0,
+        fetched_bytes: int = 0,
+        useful_bytes: int = 0,
+        retries: int = 0,
+        timeouts: int = 0,
+        evictions: int = 0,
+        faults_injected: int = 0,
+        retry_wait_time: float = 0.0,
+        latency_samples: list | None = None,
+        *,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.requests = requests
+        self.fetched_bytes = fetched_bytes
+        self.useful_bytes = useful_bytes
+        self.retries = retries
+        self.timeouts = timeouts
+        self.evictions = evictions
+        self.faults_injected = faults_injected
+        self.retry_wait_time = retry_wait_time
+        self.latency_samples: list = (
+            list(latency_samples) if latency_samples else []
+        )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in (
+                "requests",
+                "fetched_bytes",
+                "useful_bytes",
+                "retries",
+                "timeouts",
+                "evictions",
+                "faults_injected",
+                "retry_wait_time",
+            )
+        )
+        return f"MemoryStats({fields})"
 
     @property
     def read_amplification(self) -> float:
@@ -72,7 +142,11 @@ class MemoryStats:
 
     def record_latency(self, seconds) -> None:
         """Record completed-request latencies (scalar or array)."""
-        self.latency_samples.extend(np.atleast_1d(np.asarray(seconds, float)))
+        samples = np.atleast_1d(np.asarray(seconds, float))
+        self.latency_samples.extend(samples)
+        histogram = self.registry.histogram("memory.latency_us")
+        for sample in samples:
+            histogram.observe(to_usec(float(sample)))
 
     def latency_percentile(self, q: float) -> float:
         """Observed completion-latency percentile (0.0 with no samples)."""

@@ -18,6 +18,7 @@ import numpy as np
 from ..config import VERTEX_ID_BYTES
 from ..errors import DeviceError, TraceError
 from ..graph.csr import CSRGraph
+from ..telemetry.tracer import get_tracer
 from .backend import ExternalMemoryBackend, MemoryStats
 
 __all__ = ["ExternalGraphEngine"]
@@ -109,13 +110,23 @@ class ExternalGraphEngine:
         depths[source] = 0
         frontier = np.array([source], dtype=np.int64)
         steps = 0
-        while frontier.size:
-            neighbors, _, _ = self.read_neighbors(frontier)
-            self.backend.end_step()
-            steps += 1
-            unseen = neighbors[depths[neighbors] < 0]
-            frontier = np.unique(unseen)
-            depths[frontier] = steps
+        tracer = get_tracer()
+        with tracer.span("engine.bfs", source=source, vertices=n):
+            while frontier.size:
+                with tracer.span("engine.step") as step_span:
+                    fetched = self.backend.stats.fetched_bytes
+                    neighbors, _, _ = self.read_neighbors(frontier)
+                    self.backend.end_step()
+                    if tracer.enabled:
+                        step_span.set(
+                            step=steps,
+                            frontier_size=int(frontier.size),
+                            bytes_read=self.backend.stats.fetched_bytes - fetched,
+                        )
+                    steps += 1
+                    unseen = neighbors[depths[neighbors] < 0]
+                    frontier = np.unique(unseen)
+                    depths[frontier] = steps
         return _EngineRun(values=depths, steps=steps, stats=self.backend.stats)
 
     def sssp(self, source: int = 0) -> _EngineRun:
@@ -130,16 +141,26 @@ class ExternalGraphEngine:
         dist[source] = 0.0
         frontier = np.array([source], dtype=np.int64)
         steps = 0
-        while frontier.size:
-            neighbors, sources, weights = self.read_neighbors(frontier)
-            self.backend.end_step()
-            steps += 1
-            if neighbors.size == 0:
-                break
-            candidate = dist[sources] + weights
-            before = dist[neighbors].copy()
-            np.minimum.at(dist, neighbors, candidate)
-            frontier = np.unique(neighbors[dist[neighbors] < before])
+        tracer = get_tracer()
+        with tracer.span("engine.sssp", source=source, vertices=n):
+            while frontier.size:
+                with tracer.span("engine.step") as step_span:
+                    fetched = self.backend.stats.fetched_bytes
+                    neighbors, sources, weights = self.read_neighbors(frontier)
+                    self.backend.end_step()
+                    if tracer.enabled:
+                        step_span.set(
+                            step=steps,
+                            frontier_size=int(frontier.size),
+                            bytes_read=self.backend.stats.fetched_bytes - fetched,
+                        )
+                    steps += 1
+                    if neighbors.size == 0:
+                        break
+                    candidate = dist[sources] + weights
+                    before = dist[neighbors].copy()
+                    np.minimum.at(dist, neighbors, candidate)
+                    frontier = np.unique(neighbors[dist[neighbors] < before])
         return _EngineRun(values=dist, steps=steps, stats=self.backend.stats)
 
     def connected_components(self) -> _EngineRun:
@@ -149,13 +170,23 @@ class ExternalGraphEngine:
         labels = np.arange(n, dtype=np.int64)
         frontier = np.arange(n, dtype=np.int64)
         steps = 0
-        while frontier.size:
-            neighbors, sources, _ = self.read_neighbors(frontier)
-            self.backend.end_step()
-            steps += 1
-            if neighbors.size == 0:
-                break
-            before = labels[neighbors].copy()
-            np.minimum.at(labels, neighbors, labels[sources])
-            frontier = np.unique(neighbors[labels[neighbors] < before])
+        tracer = get_tracer()
+        with tracer.span("engine.cc", vertices=n):
+            while frontier.size:
+                with tracer.span("engine.step") as step_span:
+                    fetched = self.backend.stats.fetched_bytes
+                    neighbors, sources, _ = self.read_neighbors(frontier)
+                    self.backend.end_step()
+                    if tracer.enabled:
+                        step_span.set(
+                            step=steps,
+                            frontier_size=int(frontier.size),
+                            bytes_read=self.backend.stats.fetched_bytes - fetched,
+                        )
+                    steps += 1
+                    if neighbors.size == 0:
+                        break
+                    before = labels[neighbors].copy()
+                    np.minimum.at(labels, neighbors, labels[sources])
+                    frontier = np.unique(neighbors[labels[neighbors] < before])
         return _EngineRun(values=labels, steps=steps, stats=self.backend.stats)

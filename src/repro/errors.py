@@ -20,6 +20,7 @@ __all__ = [
     "DeviceLostError",
     "SimulationError",
     "ModelError",
+    "TelemetryError",
 ]
 
 
@@ -86,3 +87,7 @@ class SimulationError(ReproError, RuntimeError):
 
 class ModelError(ReproError, ValueError):
     """An analytical-model query has no solution or invalid inputs."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """The telemetry layer was configured or fed malformed data."""

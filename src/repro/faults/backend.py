@@ -29,6 +29,7 @@ import numpy as np
 from ..devices.base import DevicePool
 from ..engine.backend import ExternalMemoryBackend, MemoryStats
 from ..errors import DeviceError, FaultExhaustedError
+from ..telemetry.tracer import get_tracer
 from ..units import USEC
 from .health import PoolHealthTracker
 from .plan import FaultPlan
@@ -170,6 +171,7 @@ class FaultyBackend:
                 self.clock += self.base_latency
             return data
 
+        tracer = get_tracer()
         ids = self._requests_seen + np.arange(n, dtype=np.int64)
         a_starts = starts[active]
         a_lengths = lengths[active]
@@ -203,6 +205,12 @@ class FaultyBackend:
             fail_idx = pending[failed]
             self.stats.faults_injected += int(failed.sum())
             self.stats.timeouts += int(timed_out.sum())
+            if tracer.enabled and timed_out.any():
+                tracer.event(
+                    "fault.timeout",
+                    attempt=attempt,
+                    requests=int(timed_out.sum()),
+                )
             # Health evidence per round: a member that answered *nothing*
             # this round is suspect; one that served some requests while
             # dropping others is merely erroring transiently.
@@ -215,6 +223,12 @@ class FaultyBackend:
                     int(dev), request_id=first_req, failures=int(on_dev.sum())
                 ):
                     self.stats.evictions += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "fault.eviction",
+                            device=int(dev),
+                            request_id=first_req,
+                        )
             if attempt >= self.policy.max_attempts:
                 first = int(fail_idx[0])
                 raise FaultExhaustedError(
@@ -228,6 +242,13 @@ class FaultyBackend:
             elapsed[fail_idx] += wait
             self.stats.retry_wait_time += wait * fail_idx.size
             self.stats.retries += fail_idx.size
+            if tracer.enabled:
+                tracer.event(
+                    "fault.retry",
+                    attempt=attempt,
+                    requests=int(fail_idx.size),
+                    backoff=wait,
+                )
             # The reissue re-crosses the device discipline: extra requests
             # and fetched bytes, deduplicated exactly as the inner rules say.
             self.inner._account(a_starts[fail_idx], a_lengths[fail_idx])

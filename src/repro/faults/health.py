@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..devices.base import DevicePool
 from ..errors import DeviceError, DeviceLostError
+from ..telemetry.metrics import get_registry
 
 __all__ = ["HealthEvent", "PoolHealthTracker"]
 
@@ -121,6 +122,9 @@ class PoolHealthTracker:
                 consecutive_failures=self._consecutive[device],
             )
         )
+        registry = get_registry()
+        registry.counter("health.evictions").inc()
+        registry.gauge("health.surviving_fraction").set(self.surviving_fraction)
 
     # -- degraded-state queries ----------------------------------------------
 

@@ -20,6 +20,8 @@ import numpy as np
 
 from ..config import GPU_ACTIVE_WARPS_BFS, KERNEL_STEP_OVERHEAD
 from ..errors import SimulationError
+from ..telemetry.clock import SimClock
+from ..telemetry.tracer import get_tracer
 from .events import Simulator
 from .fluid import FluidParams
 from .resources import FifoServer, RateServer, Semaphore
@@ -158,6 +160,15 @@ def simulate_step(
     ]
     link = FifoServer(sim, "link-data")
     completion = np.zeros(n, dtype=np.float64)
+    tracer = get_tracer()
+    traced = tracer.enabled
+    # Sim-time view: queue-depth samples land on the virtual timeline.
+    sim_tracer = tracer.with_clock(SimClock(sim)) if traced else tracer
+
+    def sample_depth(dev: int) -> None:
+        sim_tracer.counter_sample(
+            f"des.dev{dev}.queue_depth", device_tags[dev].depth
+        )
 
     def start_request(i: int) -> None:
         size = int(sizes[i])
@@ -170,6 +181,8 @@ def simulate_step(
             device_tags[dev].acquire(with_device_tag)
 
         def with_device_tag() -> None:
+            if traced:
+                sample_depth(dev)
             # Admission at the device's op rate...
             device_ops[dev].submit_op(after_admission)
 
@@ -192,10 +205,13 @@ def simulate_step(
         device_tags[dev].release()
         link_tags.release()
         warps.release()
+        if traced:
+            sample_depth(dev)
 
-    for i in range(n):
-        start_request(i)
-    end = sim.run(max_events=max_events)
+    with tracer.span("des.step", requests=n, devices=config.num_devices):
+        for i in range(n):
+            start_request(i)
+        end = sim.run(max_events=max_events)
     return DESResult(
         time=end + (config.step_overhead if include_overhead else 0.0),
         requests=n,
@@ -274,6 +290,14 @@ def simulate_step_faulty(
     link = FifoServer(sim, "link-data")
     completion = np.zeros(n, dtype=np.float64)
     counters = {"retries": 0, "timeouts": 0, "faults": 0}
+    tracer = get_tracer()
+    traced = tracer.enabled
+    sim_tracer = tracer.with_clock(SimClock(sim)) if traced else tracer
+
+    def sample_depth(dev: int) -> None:
+        sim_tracer.counter_sample(
+            f"des.dev{dev}.queue_depth", device_tags[dev].depth
+        )
 
     def start_request(i: int) -> None:
         size = int(sizes[i])
@@ -287,6 +311,8 @@ def simulate_step_faulty(
             device_tags[dev].acquire(with_device_tag)
 
         def with_device_tag() -> None:
+            if traced:
+                sample_depth(dev)
             device_ops[dev].submit_op(after_admission)
 
         def after_admission() -> None:
@@ -313,6 +339,10 @@ def simulate_step_faulty(
             counters["faults"] += 1
             if timed_out:
                 counters["timeouts"] += 1
+                if traced:
+                    sim_tracer.event(
+                        "fault.timeout", request=i, attempt=attempt, device=dev
+                    )
             if attempt >= policy.max_attempts:
                 raise FaultExhaustedError(
                     f"request {i} failed {attempt} times (device {dev}); "
@@ -322,6 +352,10 @@ def simulate_step_faulty(
                     attempts=attempt,
                 )
             counters["retries"] += 1
+            if traced:
+                sim_tracer.event(
+                    "fault.retry", request=i, attempt=attempt, device=dev
+                )
             state["attempt"] = attempt + 1
             # Free the device queue slot during the backoff, then reissue
             # through admission, media and latency — real extra events.
@@ -338,10 +372,15 @@ def simulate_step_faulty(
         device_tags[dev].release()
         link_tags.release()
         warps.release()
+        if traced:
+            sample_depth(dev)
 
-    for i in range(n):
-        start_request(i)
-    end = sim.run(max_events=max_events)
+    with tracer.span(
+        "des.step", requests=n, devices=config.num_devices, faulty=True
+    ):
+        for i in range(n):
+            start_request(i)
+        end = sim.run(max_events=max_events)
     return DESResult(
         time=end + (config.step_overhead if include_overhead else 0.0),
         requests=n,

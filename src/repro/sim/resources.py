@@ -60,6 +60,15 @@ class Semaphore:
         """Waiters blocked on a permit."""
         return len(self._waiters)
 
+    @property
+    def depth(self) -> int:
+        """Total demand on the resource: held permits plus waiters.
+
+        This is the "queue depth" a device sees — telemetry samples it
+        per device tag during DES runs.
+        """
+        return self._in_use + len(self._waiters)
+
 
 class FifoServer:
     """A single serialized server: jobs queue and run back to back.

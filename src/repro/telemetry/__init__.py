@@ -1,0 +1,86 @@
+"""Zero-dependency tracing and metrics for the repro package.
+
+Two complementary layers:
+
+* **Tracing** (:mod:`~repro.telemetry.tracer`): a :class:`Tracer` records
+  nestable spans, instant events and counter samples on a timeline read
+  from a pluggable clock — monotonic wall time by default, the DES's
+  virtual clock inside simulations.  The process-wide default is the
+  no-op :data:`NULL_TRACER`, so instrumentation costs ~nothing unless a
+  caller installs a real tracer (:func:`use_tracer`).
+* **Metrics** (:mod:`~repro.telemetry.metrics`): a
+  :class:`MetricRegistry` of counters, gauges and fixed-bucket
+  histograms that subsystems publish into regardless of tracing.
+
+Exporters (:mod:`~repro.telemetry.export`) turn collected records into
+JSON-lines, Chrome trace-event files (open in https://ui.perfetto.dev),
+or plain-text profile/flamegraph summaries.  See docs/TELEMETRY.md for
+the span taxonomy and metric naming scheme.
+"""
+
+from .clock import Clock, FrozenClock, SimClock, WallClock
+from .export import (
+    SpanProfile,
+    render_flamegraph,
+    render_jsonl,
+    render_profile,
+    span_profiles,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    get_registry,
+    set_registry,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanHandle,
+    TraceRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    # clocks
+    "Clock",
+    "WallClock",
+    "SimClock",
+    "FrozenClock",
+    # tracer
+    "TraceRecord",
+    "SpanHandle",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    # export
+    "render_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "SpanProfile",
+    "span_profiles",
+    "render_profile",
+    "render_flamegraph",
+]

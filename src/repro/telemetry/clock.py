@@ -1,0 +1,88 @@
+"""Clock sources for telemetry timestamps.
+
+Telemetry never reads the host clock directly in instrumented code (the
+OBS001 lint rule enforces this); instead every :class:`~repro.telemetry
+.tracer.Tracer` owns a clock object with a single ``now()`` method:
+
+* :class:`WallClock` — monotonic wall time (``time.perf_counter``),
+  zeroed at construction so traces start near ``t = 0``;
+* :class:`SimClock` — virtual time read from a
+  :class:`~repro.sim.events.Simulator` (or anything with a ``now``
+  attribute), so DES records land on the simulated timeline;
+* :class:`FrozenClock` — manually advanced time for deterministic tests
+  and golden trace files.
+
+All clocks report seconds as ``float``; exporters convert to the trace
+format's native unit (microseconds for Chrome trace events).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from ..errors import TelemetryError
+
+__all__ = ["Clock", "WallClock", "SimClock", "FrozenClock"]
+
+
+class Clock(Protocol):
+    """Anything a tracer can read timestamps from."""
+
+    def now(self) -> float:
+        """Current time in seconds on this clock's timeline."""
+        ...  # pragma: no cover
+
+
+class WallClock:
+    """Monotonic wall clock, zeroed at construction.
+
+    Uses ``time.perf_counter`` — monotonic and high-resolution — so span
+    durations are meaningful even if the system clock steps.  This is the
+    *only* module in the instrumented packages allowed to touch the host
+    clock (see docs/ANALYSIS.md, rule OBS001).
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds elapsed since this clock was created."""
+        return time.perf_counter() - self._origin
+
+
+class SimClock:
+    """Virtual time read from a simulator-like object.
+
+    ``source`` is anything exposing a numeric ``now`` attribute — in
+    practice a :class:`~repro.sim.events.Simulator` — so records emitted
+    during a DES run carry simulated timestamps, not wall time.
+    """
+
+    def __init__(self, source: object) -> None:
+        if not hasattr(source, "now"):
+            raise TelemetryError(
+                f"SimClock source {type(source).__name__!r} has no 'now'"
+            )
+        self._source = source
+
+    def now(self) -> float:
+        """The simulator's current virtual time in seconds."""
+        return float(self._source.now)  # type: ignore[attr-defined]
+
+
+class FrozenClock:
+    """Manually advanced clock for deterministic tests and goldens."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The frozen time; only :meth:`advance` moves it."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise TelemetryError(f"cannot advance backwards ({seconds})")
+        self._now += seconds

@@ -251,6 +251,51 @@ class TestSTAT001:
         assert not findings_for(self.UNACCOUNTED, path=CORE_PATH, rule="STAT001")
 
 
+# -- OBS001 ------------------------------------------------------------------
+
+
+class TestOBS001:
+    def test_catches_perf_counter(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        (finding,) = findings_for(src, path=ENGINE_PATH, rule="OBS001")
+        assert "time.perf_counter" in finding.message
+        assert "telemetry" in finding.message
+
+    def test_catches_monotonic_via_alias(self):
+        src = "import time as t\nstart = t.monotonic_ns()\n"
+        assert findings_for(src, path=SIM_PATH, rule="OBS001")
+
+    def test_catches_from_import(self):
+        src = "from time import perf_counter\nstart = perf_counter()\n"
+        assert findings_for(src, path=CORE_PATH, rule="OBS001")
+
+    def test_catches_adhoc_counter(self):
+        src = "import collections\nhits = collections.Counter()\n"
+        (finding,) = findings_for(src, path=ENGINE_PATH, rule="OBS001")
+        assert "MetricRegistry" in finding.message
+
+    def test_allows_telemetry_usage(self):
+        src = (
+            "from repro.telemetry import get_tracer\n"
+            "def step():\n"
+            "    with get_tracer().span('engine.step'):\n"
+            "        pass\n"
+        )
+        assert not findings_for(src, path=ENGINE_PATH, rule="OBS001")
+
+    def test_scoped_to_instrumented_packages(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        assert not findings_for(
+            src, path="src/repro/graph/example.py", rule="OBS001"
+        )
+
+    def test_clock_module_is_sanctioned(self):
+        src = "import time\norigin = time.perf_counter()\n"
+        assert not findings_for(
+            src, path="src/repro/telemetry/clock.py", rule="OBS001"
+        )
+
+
 # -- suppressions ------------------------------------------------------------
 
 
@@ -352,7 +397,8 @@ class TestReporters:
         driver = run["tool"]["driver"]
         assert driver["name"] == "simlint"
         assert {r["id"] for r in driver["rules"]} == {
-            "DET001", "DTYPE001", "ERR001", "FLOAT001", "STAT001", "UNIT001",
+            "DET001", "DTYPE001", "ERR001", "FLOAT001", "OBS001", "STAT001",
+            "UNIT001",
         }
         active, suppressed = run["results"]
         assert active["ruleId"] == "FLOAT001"
@@ -367,9 +413,10 @@ class TestReporters:
 
 
 class TestFramework:
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_seven_rules(self):
         assert {rule.id for rule in all_rules()} == {
-            "DET001", "DTYPE001", "ERR001", "FLOAT001", "STAT001", "UNIT001",
+            "DET001", "DTYPE001", "ERR001", "FLOAT001", "OBS001", "STAT001",
+            "UNIT001",
         }
         for rule in all_rules():
             assert rule.title and rule.rationale

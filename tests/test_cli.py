@@ -128,3 +128,79 @@ def test_figure_output_csv(capsys, tmp_path):
     assert code == 0
     assert target.exists()
     assert target.read_text().startswith("added_latency_us")
+
+
+def test_run_writes_chrome_trace(capsys, tmp_path):
+    import json
+
+    from repro.telemetry import validate_chrome_trace
+
+    target = tmp_path / "run.trace.json"
+    code, out, _ = run_cli(
+        capsys,
+        "run", "--dataset", "urand", "--scale", "10",
+        "--system", "xlfdd", "--trace", str(target),
+    )
+    assert code == 0
+    assert "trace written to" in out
+    trace = json.loads(target.read_text())
+    validate_chrome_trace(trace)
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert "experiment.run" in names
+
+
+def test_run_writes_jsonl_trace(capsys, tmp_path):
+    import json
+
+    target = tmp_path / "run.jsonl"
+    code, out, _ = run_cli(
+        capsys,
+        "run", "--dataset", "urand", "--scale", "10",
+        "--system", "emogi", "--trace", str(target),
+        "--trace-format", "jsonl",
+    )
+    assert code == 0
+    records = [json.loads(line) for line in target.read_text().splitlines()]
+    assert any(r["name"] == "experiment.run" for r in records)
+
+
+def test_run_without_trace_flag_writes_nothing(capsys, tmp_path):
+    code, out, _ = run_cli(
+        capsys, "run", "--dataset", "urand", "--scale", "10", "--system", "emogi"
+    )
+    assert code == 0
+    assert "trace written" not in out
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_profile_prints_top_spans(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "profile", "--dataset", "urand", "--scale", "10",
+        "--algorithm", "bfs", "--system", "xlfdd", "--top", "3",
+    )
+    assert code == 0
+    assert "span" in out and "inclusive" in out
+    assert "engine.bfs" in out
+    assert "engine.step" in out
+
+
+def test_profile_flamegraph_and_trace(capsys, tmp_path):
+    target = tmp_path / "prof.jsonl"
+    code, out, _ = run_cli(
+        capsys,
+        "profile", "--dataset", "urand", "--scale", "10",
+        "--algorithm", "cc", "--system", "bam",
+        "--flamegraph", "--trace", str(target), "--trace-format", "jsonl",
+    )
+    assert code == 0
+    assert "engine.cc;engine.step" in out
+    assert target.exists()
+
+
+def test_run_unknown_system_rejected_by_parser(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(
+            capsys,
+            "run", "--dataset", "urand", "--scale", "10", "--system", "nvlink",
+        )
