@@ -47,6 +47,10 @@ Subpackages
 ``telemetry``
     Zero-dependency tracing (spans/events/counters) and metrics with
     JSONL / Chrome-trace / profile exporters.
+``ops``
+    Traffic-driven serving scenarios: open-arrival load, fault storms,
+    a self-healing controller, and SLO-attainment reports
+    (``repro serve``, docs/OPERATIONS.md).
 ``systems``
     Name -> system-configuration registry shared by the CLI and sweeps.
 """
@@ -95,6 +99,16 @@ from .telemetry import (
     get_tracer,
     use_tracer,
 )
+from .ops import (
+    ControllerPolicy,
+    FaultStorm,
+    ServingConfig,
+    SloReport,
+    TrafficModel,
+    compare_reports,
+    named_storm,
+    run_serving_scenario,
+)
 from . import systems
 
 __version__ = "1.0.0"
@@ -134,6 +148,14 @@ __all__ = [
     "get_tracer",
     "get_registry",
     "use_tracer",
+    "ControllerPolicy",
+    "FaultStorm",
+    "ServingConfig",
+    "SloReport",
+    "TrafficModel",
+    "compare_reports",
+    "named_storm",
+    "run_serving_scenario",
     "systems",
     "__version__",
 ]

@@ -17,9 +17,13 @@ Subcommands
 ``profile``
     Run a traced traversal on the functional engine and print the top
     spans by inclusive time (``repro profile --algorithm bfs``).
+``serve``
+    Run the traffic-driven serving scenario under a fault storm and
+    print the SLO report (``repro serve --fault-storm storm``);
+    ``--controller both`` compares self-healing on vs off.
 
-``run`` and ``profile`` accept ``--trace PATH`` to write the collected
-telemetry as JSON-lines (``--trace-format jsonl``) or a Chrome
+``run``, ``profile`` and ``serve`` accept ``--trace PATH`` to write the
+collected telemetry as JSON-lines (``--trace-format jsonl``) or a Chrome
 trace-event file loadable in Perfetto (``--trace-format chrome``).
 """
 
@@ -30,6 +34,7 @@ import sys
 from typing import Sequence
 
 from . import figures, systems
+from .ops.storm import available_storms
 from .core.experiment import run_experiment
 from .core.report import format_table
 from .core.requirements import requirements_for
@@ -163,6 +168,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="traffic-driven serving scenario with a self-healing controller",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=3.0, metavar="S",
+        help="simulated seconds of traffic (default 3.0)",
+    )
+    serve.add_argument(
+        "--slo-p99", type=float, default=4000.0, metavar="US",
+        help="p99 latency objective in microseconds (default 4000)",
+    )
+    serve.add_argument(
+        "--fault-storm", default="storm", choices=available_storms(),
+        help="named fault storm to replay (default: storm)",
+    )
+    serve.add_argument(
+        "--controller", default="both", choices=["on", "off", "both"],
+        help="run with the self-healing controller on, off, or both "
+        "(compared side by side; default both)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for both the traffic model and the fault storm",
+    )
+    serve.add_argument(
+        "--base-rate", type=float, default=800.0, metavar="QPS",
+        help="mean arrival rate before modulation (default 800)",
+    )
+    serve.add_argument(
+        "--system",
+        default="xlfdd",
+        choices=systems.available(),
+        help="system whose pool serves the traffic",
+    )
+    serve.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the SLO report(s) as canonical JSON; with "
+        "--controller both, PATH gains .on/.off infixes",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="with --controller both: exit non-zero unless controller-on "
+        "attains at least controller-off (the CI gate)",
+    )
+    _add_trace_args(serve)
 
     profile = sub.add_parser(
         "profile",
@@ -418,6 +470,73 @@ def _cmd_profile(args: argparse.Namespace) -> str:
     return "\n".join(parts)
 
 
+def _serve_report_path(base: str, mode: str) -> str:
+    """``slo.json`` -> ``slo.on.json`` when both modes write artifacts."""
+    from pathlib import Path
+
+    p = Path(base)
+    return str(p.with_name(f"{p.stem}.{mode}{p.suffix or '.json'}"))
+
+
+def _cmd_serve(args: argparse.Namespace) -> tuple[str, int]:
+    from pathlib import Path
+
+    from .ops import (
+        ServingConfig,
+        TrafficModel,
+        compare_reports,
+        named_storm,
+        run_serving_scenario,
+    )
+    from .telemetry import NULL_TRACER, Tracer, use_tracer
+
+    config = ServingConfig(duration=args.duration, slo_p99=args.slo_p99 * USEC)
+    traffic = TrafficModel(seed=args.seed, base_rate=args.base_rate)
+    storm = named_storm(args.fault_storm, seed=args.seed)
+    modes = {"on": [True], "off": [False], "both": [True, False]}[args.controller]
+    tracer = Tracer() if args.trace else NULL_TRACER
+    reports = {}
+    with use_tracer(tracer):
+        for controller_on in modes:
+            reports[controller_on] = run_serving_scenario(
+                args.system,
+                config=config,
+                traffic=traffic,
+                storm=storm,
+                controller=controller_on,
+            )
+    parts = [report.describe() for report in reports.values()]
+    if args.report:
+        for controller_on, report in reports.items():
+            path = (
+                _serve_report_path(args.report, "on" if controller_on else "off")
+                if len(reports) > 1
+                else args.report
+            )
+            Path(path).write_text(report.to_json(), encoding="utf-8")
+            parts.append(f"report written to {path}")
+    code = 0
+    if len(reports) == 2:
+        deltas = compare_reports(reports[True], reports[False])
+        parts.append(
+            "controller-on vs off: "
+            f"attainment {deltas['attainment_gain']:+.3f}, "
+            f"shed {deltas['shed_delta']:+.3f}, "
+            f"p99 {deltas['p99_delta_us']:+.0f} us, "
+            f"recovery {deltas['recovery_delta_s']:+.2f} s"
+        )
+        if args.check and deltas["attainment_gain"] < 0:
+            parts.append("CHECK FAILED: controller-on lowered SLO attainment")
+            code = 1
+        elif args.check:
+            parts.append("check passed: controller-on attainment >= off")
+    elif args.check:
+        parts.append("note: --check needs --controller both; ignored")
+    if args.trace:
+        parts.append(_write_trace(tracer, args))
+    return "\n".join(parts), code
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
@@ -427,6 +546,7 @@ _COMMANDS = {
     "chase": _cmd_chase,
     "lint": _cmd_lint,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
 }
 
 

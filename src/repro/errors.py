@@ -18,6 +18,7 @@ __all__ = [
     "FaultError",
     "FaultExhaustedError",
     "DeviceLostError",
+    "PoolExhaustedError",
     "SimulationError",
     "ModelError",
     "TelemetryError",
@@ -79,6 +80,17 @@ class FaultExhaustedError(FaultError):
 
 class DeviceLostError(FaultError):
     """A permanent device loss could not be absorbed by the pool."""
+
+
+class PoolExhaustedError(DeviceError, DeviceLostError):
+    """Removing a stripe member would leave the pool with nothing in service.
+
+    Raised instead of ever producing an empty degraded pool: the caller
+    asked to evict (or suspend) the last member still serving requests.
+    Subclasses both :class:`DeviceError` (it is a misuse of the pool) and
+    :class:`DeviceLostError` (it is the unabsorbable-loss condition), so
+    existing handlers for either keep working.
+    """
 
 
 class SimulationError(ReproError, RuntimeError):

@@ -238,16 +238,25 @@ class FaultyBackend:
                     device=int(devs[failed][0]),
                     attempts=attempt,
                 )
-            wait = self.policy.backoff(attempt)
-            elapsed[fail_idx] += wait
-            self.stats.retry_wait_time += wait * fail_idx.size
+            if self.policy.jitter > 0:
+                waits = self.policy.backoff(
+                    attempt, u=self.plan.backoff_jitters(ids[fail_idx], attempt)
+                )
+                elapsed[fail_idx] += waits
+                self.stats.retry_wait_time += float(waits.sum())
+                mean_wait = float(waits.mean())
+            else:
+                wait = self.policy.backoff(attempt)
+                elapsed[fail_idx] += wait
+                self.stats.retry_wait_time += wait * fail_idx.size
+                mean_wait = wait
             self.stats.retries += fail_idx.size
             if tracer.enabled:
                 tracer.event(
                     "fault.retry",
                     attempt=attempt,
                     requests=int(fail_idx.size),
-                    backoff=wait,
+                    backoff=mean_wait,
                 )
             # The reissue re-crosses the device discipline: extra requests
             # and fetched bytes, deduplicated exactly as the inner rules say.

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..devices.base import DevicePool
-from ..errors import DeviceError, DeviceLostError
+from ..errors import DeviceError, PoolExhaustedError
 from ..telemetry.metrics import get_registry
 
 __all__ = ["HealthEvent", "PoolHealthTracker"]
@@ -20,17 +20,26 @@ __all__ = ["HealthEvent", "PoolHealthTracker"]
 
 @dataclass(frozen=True)
 class HealthEvent:
-    """One recorded health transition (currently: evictions)."""
+    """One recorded health transition.
+
+    ``kind`` is ``"evicted"`` (permanent removal), ``"suspended"``
+    (placed on probation — out of service but re-admittable), or
+    ``"readmitted"`` (probation member returned to service after its
+    half-open probes succeeded).  ``reason`` carries the detector's
+    diagnosis (``"dropout"``, ``"stuck-slow"``, ...).
+    """
 
     device: int
     kind: str
     request_id: int
     consecutive_failures: int
+    reason: str = ""
 
     def describe(self) -> str:
         """Human-readable one-liner for reports."""
+        cause = f" [{self.reason}]" if self.reason else ""
         return (
-            f"device {self.device} {self.kind} after "
+            f"device {self.device} {self.kind}{cause} after "
             f"{self.consecutive_failures} consecutive failures "
             f"(request {self.request_id})"
         )
@@ -59,6 +68,7 @@ class PoolHealthTracker:
         self._consecutive = [0] * count
         self._streak_requests = [0] * count
         self.failed: set[int] = set()
+        self.probation: set[int] = set()
         self.events: list[HealthEvent] = []
 
     def _check(self, device: int) -> None:
@@ -97,22 +107,34 @@ class PoolHealthTracker:
         if (
             self._consecutive[device] >= self.failure_threshold
             and self._streak_requests[device] >= 2 * self.failure_threshold
-            and len(self.failed) + 1 < self.count
+            and len(self.surviving) > 1
         ):
-            self.evict(device, request_id=request_id)
+            self.evict(device, request_id=request_id, reason="dropout")
             return True
         return False
 
-    def evict(self, device: int, request_id: int = -1) -> None:
-        """Remove ``device`` from service; survivors take over its stripes."""
+    def _out_of_service(self) -> int:
+        return len(self.failed) + len(self.probation)
+
+    def evict(self, device: int, request_id: int = -1, reason: str = "") -> None:
+        """Remove ``device`` from service; survivors take over its stripes.
+
+        Evicting the last member still in service raises
+        :class:`~repro.errors.PoolExhaustedError` — an empty degraded
+        pool must never exist.  A probation member may always be evicted
+        (it is already out of service; this just makes the removal
+        permanent).
+        """
         self._check(device)
         if device in self.failed:
             return
-        if len(self.failed) + 1 >= self.count:
-            raise DeviceLostError(
+        if device not in self.probation and self._out_of_service() + 1 >= self.count:
+            raise PoolExhaustedError(
                 f"evicting device {device} would leave the pool empty "
-                f"({self.count} members, {len(self.failed)} already failed)"
+                f"({self.count} members, {len(self.failed)} failed, "
+                f"{len(self.probation)} on probation)"
             )
+        self.probation.discard(device)
         self.failed.add(device)
         self.events.append(
             HealthEvent(
@@ -120,18 +142,84 @@ class PoolHealthTracker:
                 kind="evicted",
                 request_id=request_id,
                 consecutive_failures=self._consecutive[device],
+                reason=reason,
             )
         )
         registry = get_registry()
         registry.counter("health.evictions").inc()
         registry.gauge("health.surviving_fraction").set(self.surviving_fraction)
 
+    # -- probation: the circuit breaker's open/half-open states ---------------
+
+    def suspend(self, device: int, request_id: int = -1, reason: str = "") -> None:
+        """Take ``device`` out of service on probation (re-admittable).
+
+        The circuit opens: no regular traffic routes to the member, but
+        unlike :meth:`evict` the removal is provisional — half-open probe
+        traffic (driven by a controller) can :meth:`readmit` it.
+        Suspending the last in-service member raises
+        :class:`~repro.errors.PoolExhaustedError`.
+        """
+        self._check(device)
+        if device in self.failed:
+            raise DeviceError(f"device {device} is already evicted")
+        if device in self.probation:
+            return
+        if self._out_of_service() + 1 >= self.count:
+            raise PoolExhaustedError(
+                f"suspending device {device} would leave the pool empty "
+                f"({self.count} members, {len(self.failed)} failed, "
+                f"{len(self.probation)} on probation)"
+            )
+        self.probation.add(device)
+        self.events.append(
+            HealthEvent(
+                device=device,
+                kind="suspended",
+                request_id=request_id,
+                consecutive_failures=self._consecutive[device],
+                reason=reason,
+            )
+        )
+        registry = get_registry()
+        registry.counter("health.suspensions").inc()
+        registry.gauge("health.surviving_fraction").set(self.surviving_fraction)
+
+    def readmit(self, device: int, request_id: int = -1, reason: str = "") -> None:
+        """Return a probation member to service (the circuit closes)."""
+        self._check(device)
+        if device not in self.probation:
+            raise DeviceError(f"device {device} is not on probation")
+        self.probation.discard(device)
+        self._consecutive[device] = 0
+        self._streak_requests[device] = 0
+        self.events.append(
+            HealthEvent(
+                device=device,
+                kind="readmitted",
+                request_id=request_id,
+                consecutive_failures=0,
+                reason=reason,
+            )
+        )
+        registry = get_registry()
+        registry.counter("health.readmissions").inc()
+        registry.gauge("health.surviving_fraction").set(self.surviving_fraction)
+
     # -- degraded-state queries ----------------------------------------------
 
     @property
     def surviving(self) -> list[int]:
-        """Indices of members still in service, in stripe order."""
-        return [d for d in range(self.count) if d not in self.failed]
+        """Indices of members still in service, in stripe order.
+
+        Probation members are out of service (no regular traffic) even
+        though they are not permanently failed.
+        """
+        return [
+            d
+            for d in range(self.count)
+            if d not in self.failed and d not in self.probation
+        ]
 
     @property
     def surviving_fraction(self) -> float:
@@ -149,11 +237,11 @@ class PoolHealthTracker:
             raise DeviceError(
                 f"tracker covers {self.count} devices but pool has {pool.count}"
             )
-        return pool.degraded(len(self.failed))
+        return pool.degraded(self.count - len(self.surviving))
 
     def describe(self) -> str:
         """One-line health summary for reports."""
-        if not self.failed:
+        if not self.failed and not self.probation:
             return f"pool healthy: {self.count}/{self.count} members in service"
         return (
             f"pool degraded: {len(self.surviving)}/{self.count} members in "

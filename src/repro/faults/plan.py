@@ -59,6 +59,7 @@ def _uniform(seed: int, request_ids: np.ndarray, attempt: int, stream: int) -> n
 _STREAM_ERROR = 1
 _STREAM_SPIKE_GATE = 2
 _STREAM_SPIKE_SIZE = 3
+_STREAM_BACKOFF = 4
 
 
 @dataclass(frozen=True)
@@ -178,6 +179,15 @@ class FaultPlan:
         spike = self.spike_scale * ((1.0 - u) ** (-1.0 / self.spike_alpha) - 1.0)
         return np.where(gate, spike, 0.0)
 
+    def backoff_jitters(self, request_ids: np.ndarray, attempt: int) -> np.ndarray:
+        """Uniform [0, 1) draws for retry-backoff jitter.
+
+        Keyed like every other stream by ``(seed, request, attempt)``, so
+        a jittered :class:`~repro.faults.retry.RetryPolicy` replays the
+        same waits in the vectorized backend and the scalar DES.
+        """
+        return _uniform(self.seed, request_ids, attempt, _STREAM_BACKOFF)
+
     def latency_multipliers(self, devices: np.ndarray) -> np.ndarray:
         """Per-device service-time multiplier (stuck-slow devices)."""
         devices = np.atleast_1d(devices)
@@ -194,6 +204,10 @@ class FaultPlan:
     def spike_latency(self, request_id: int, attempt: int) -> float:
         """Scalar form of :meth:`spike_latencies`."""
         return float(self.spike_latencies(np.array([request_id]), attempt)[0])
+
+    def backoff_jitter(self, request_id: int, attempt: int) -> float:
+        """Scalar form of :meth:`backoff_jitters`."""
+        return float(self.backoff_jitters(np.array([request_id]), attempt)[0])
 
     def latency_multiplier(self, device: int) -> float:
         """Scalar form of :meth:`latency_multipliers`."""

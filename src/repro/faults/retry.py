@@ -31,12 +31,25 @@ class RetryPolicy:
     timeout:
         Per-attempt deadline; an attempt whose observed latency exceeds it
         is abandoned at the deadline and retried (``None`` = wait forever).
+    jitter:
+        Fraction of the exponential backoff term randomized away
+        (full-jitter style).  ``0.0`` (the default) keeps backoff exactly
+        deterministic — bit-identical to the pre-jitter behavior; ``1.0``
+        draws the whole wait uniformly from ``[0, backoff)``.  The
+        uniform draw itself is supplied by the caller (``u`` on
+        :meth:`backoff`) from a seeded stream — see
+        :meth:`~repro.faults.plan.FaultPlan.backoff_jitters` — so jitter
+        stays replayable.  Jitter desynchronizes retry storms: without
+        it, every request that failed in the same round reissues at the
+        same instant and hammers the surviving stripe members in
+        lockstep.
     """
 
     max_attempts: int = 5
     backoff_base: float = 2 * USEC
     backoff_factor: float = 2.0
     timeout: float | None = None
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -49,13 +62,32 @@ class RetryPolicy:
             not math.isfinite(self.timeout) or self.timeout <= 0
         ):
             raise DeviceError("timeout must be positive and finite, or None")
+        if not math.isfinite(self.jitter) or not 0.0 <= self.jitter <= 1.0:
+            raise DeviceError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff(self, failed_attempt: int) -> float:
-        """Simulated wait after the ``failed_attempt``-th failure (1-based)."""
+    def backoff(self, failed_attempt: int, u=None):
+        """Simulated wait after the ``failed_attempt``-th failure (1-based).
+
+        ``u`` is a uniform draw (or array of draws) in ``[0, 1)`` from a
+        seeded stream; with ``jitter > 0`` the wait becomes
+        ``b * (1 - jitter + jitter * u)`` where ``b`` is the exponential
+        term — full jitter over the jittered fraction.  ``u=None`` (or
+        ``jitter=0``) returns the deterministic exponential wait.
+        """
         if failed_attempt < 1:
             raise DeviceError(f"attempt numbers are 1-based, got {failed_attempt}")
-        return self.backoff_base * self.backoff_factor ** (failed_attempt - 1)
+        base = self.backoff_base * self.backoff_factor ** (failed_attempt - 1)
+        # Exact sentinel: jitter is off only at the exact 0.0 default.
+        if u is None or self.jitter == 0.0:  # simlint: disable=FLOAT001
+            return base
+        return base * (1.0 - self.jitter + self.jitter * u)
 
     def total_backoff(self, attempts: int) -> float:
-        """Cumulative backoff paid by a request that issued ``attempts``."""
-        return sum(self.backoff(k) for k in range(1, attempts))
+        """Cumulative *expected* backoff paid by a request issuing ``attempts``.
+
+        With jitter the per-wait expectation is ``b * (1 - jitter / 2)``
+        (``u`` is uniform); at the default ``jitter=0`` this is exactly
+        the deterministic cumulative wait.
+        """
+        expected = 1.0 - self.jitter / 2.0
+        return sum(self.backoff(k) * expected for k in range(1, attempts))

@@ -1,0 +1,235 @@
+"""The self-healing controller: detect → diagnose → remediate.
+
+Closes the loop between PR 1's fault machinery and PR 3's telemetry: on
+every control tick the controller reads the serving scenario's published
+signals — the windowed p99 gauge and the per-device ``health.*`` latency
+ratios derived from ``memory.latency_us`` observations — and acts:
+
+* **evict stuck-slow members early**: a member whose observed latency
+  ratio stays above ``stuck_ratio`` for ``stuck_ticks`` consecutive
+  ticks is suspended onto probation (the circuit opens) and its stripes
+  re-plan onto the survivors;
+* **half-open re-admission**: probation members receive periodic probe
+  traffic; ``probe_successes`` consecutive healthy probes close the
+  circuit (re-admission), failures back the probe interval off
+  exponentially, and ``evict_after_probes`` consecutive failures make
+  the removal permanent;
+* **scale pool width**: while the active width sits below the target,
+  standby devices are attached after a warm-up delay (and retired again
+  once re-admissions push the width above target);
+* **admission control**: when the windowed p99 drifts past
+  ``shed_high`` of the SLO, a token bucket caps the admitted arrival
+  rate until the tail recovers below ``shed_low``.
+
+Every decision emits a telemetry event and bumps a counter, so a trace
+of the run explains *why* each remediation fired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ControllerPolicy", "TokenBucket", "ServingController"]
+
+
+@dataclass(frozen=True)
+class ControllerPolicy:
+    """Tuning knobs of the control loop (times in simulated seconds)."""
+
+    tick: float = 0.05
+    stuck_ratio: float = 3.0
+    stuck_ticks: int = 2
+    probe_interval: float = 0.15
+    probe_successes: int = 3
+    probe_backoff: float = 2.0
+    evict_after_probes: int = 5
+    scale_delay: float = 0.2
+    shed_high: float = 0.9
+    shed_low: float = 0.6
+    shed_admit_rate_factor: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.tick) or self.tick <= 0:
+            raise ConfigError("controller tick must be positive")
+        if self.stuck_ratio < 1.0:
+            raise ConfigError("stuck_ratio must be >= 1")
+        if self.stuck_ticks < 1 or self.probe_successes < 1:
+            raise ConfigError("stuck_ticks and probe_successes must be >= 1")
+        if self.probe_interval <= 0 or self.scale_delay < 0:
+            raise ConfigError("probe_interval must be > 0, scale_delay >= 0")
+        if self.probe_backoff < 1.0:
+            raise ConfigError("probe_backoff must be >= 1")
+        if self.evict_after_probes < 1:
+            raise ConfigError("evict_after_probes must be >= 1")
+        if not 0.0 < self.shed_low < self.shed_high:
+            raise ConfigError("need 0 < shed_low < shed_high")
+        if not 0.0 < self.shed_admit_rate_factor <= 1.0:
+            raise ConfigError("shed_admit_rate_factor must be in (0, 1]")
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter on the DES clock."""
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0 or burst < 1:
+            raise ConfigError("token bucket needs rate > 0 and burst >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available; False means shed the arrival."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class _Probation:
+    """Half-open bookkeeping for one suspended device."""
+
+    __slots__ = ("next_probe", "interval", "successes", "failures", "in_flight")
+
+    def __init__(self, now: float, interval: float) -> None:
+        self.next_probe = now + interval
+        self.interval = interval
+        self.successes = 0
+        self.failures = 0
+        self.in_flight = False
+
+
+class ServingController:
+    """Watches a serving scenario's signals and remediates.
+
+    ``scenario`` is duck-typed; it must expose:
+
+    ``windowed_p99()``, ``device_latency_ratio(dev)``, ``active_devices()``,
+    ``standby_available()``, ``target_width``, ``suspend_device(dev, reason)``,
+    ``readmit_device(dev)``, ``evict_device(dev, reason)``,
+    ``attach_standby(delay)``, ``retire_standby()``,
+    ``launch_probe(dev, callback)``, ``current_arrival_rate()``,
+    ``controller_event(name, **attrs)`` (telemetry fan-out).
+    """
+
+    def __init__(self, scenario, policy: ControllerPolicy, slo_p99: float) -> None:
+        self.scenario = scenario
+        self.policy = policy
+        self.slo_p99 = slo_p99
+        self.actions: dict[str, int] = {}
+        self.shedding = False
+        self.bucket: TokenBucket | None = None
+        self._suspect_ticks: dict[int, int] = {}
+        self._probation: dict[int, _Probation] = {}
+        self._attach_pending = 0
+
+    def _act(self, name: str, **attrs) -> None:
+        """Count one remediation and emit its telemetry event."""
+        self.actions[name] = self.actions.get(name, 0) + 1
+        self.scenario.controller_event(f"ops.controller.{name}", **attrs)
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, now: float) -> bool:
+        """Token-bucket admission; always True while not shedding."""
+        if not self.shedding or self.bucket is None:
+            return True
+        return self.bucket.try_take(now)
+
+    # -- the control loop ----------------------------------------------------
+
+    def on_tick(self, now: float) -> None:
+        """One detect → diagnose → remediate pass."""
+        p99 = self.scenario.windowed_p99()
+        self._check_stuck_members(now)
+        self._run_probes(now)
+        self._check_width(now)
+        self._check_admission(now, p99)
+
+    def _check_stuck_members(self, now: float) -> None:
+        active = self.scenario.active_devices()
+        for dev in active:
+            ratio = self.scenario.device_latency_ratio(dev)
+            if ratio >= self.policy.stuck_ratio:
+                self._suspect_ticks[dev] = self._suspect_ticks.get(dev, 0) + 1
+            else:
+                self._suspect_ticks[dev] = 0
+            if self._suspect_ticks[dev] >= self.policy.stuck_ticks and len(active) > 1:
+                self.scenario.suspend_device(dev, reason="stuck-slow")
+                self._suspect_ticks[dev] = 0
+                self._probation[dev] = _Probation(now, self.policy.probe_interval)
+                self._act("suspend", device=dev, latency_ratio=ratio)
+
+    def _run_probes(self, now: float) -> None:
+        for dev in sorted(self._probation):
+            state = self._probation[dev]
+            if state.in_flight or now < state.next_probe:
+                continue
+            state.in_flight = True
+            self._act("probe", device=dev)
+            self.scenario.launch_probe(dev, self._on_probe_result)
+
+    def _on_probe_result(
+        self, device: int, ok: bool, ratio: float, now: float
+    ) -> None:
+        state = self._probation.get(device)
+        if state is None:
+            return
+        state.in_flight = False
+        if ok and ratio < self.policy.stuck_ratio:
+            state.successes += 1
+            state.failures = 0
+            if state.successes >= self.policy.probe_successes:
+                del self._probation[device]
+                self.scenario.readmit_device(device)
+                self._act("readmit", device=device, latency_ratio=ratio)
+            else:
+                # Half-open: keep probing briskly while the member looks good.
+                state.next_probe = now + self.policy.probe_interval / 2.0
+        else:
+            state.successes = 0
+            state.failures += 1
+            if state.failures >= self.policy.evict_after_probes:
+                del self._probation[device]
+                self.scenario.evict_device(device, reason="failed probation")
+                self._act("evict", device=device, latency_ratio=ratio)
+            else:
+                state.interval *= self.policy.probe_backoff
+                state.next_probe = now + state.interval
+
+    def _check_width(self, now: float) -> None:
+        width = len(self.scenario.active_devices()) + self._attach_pending
+        target = self.scenario.target_width
+        if width < target and self.scenario.standby_available():
+            self._attach_pending += 1
+            self._act("scale_up", width=width, target=target)
+            self.scenario.attach_standby(self.policy.scale_delay, self._on_attached)
+        elif width > target and self.scenario.retire_standby():
+            self._act("scale_down", width=width, target=target)
+
+    def _on_attached(self, device: int) -> None:
+        self._attach_pending -= 1
+
+    def _check_admission(self, now: float, p99: float) -> None:
+        if not self.shedding and p99 > self.policy.shed_high * self.slo_p99:
+            self.shedding = True
+            rate = max(
+                1.0,
+                self.scenario.current_arrival_rate()
+                * self.policy.shed_admit_rate_factor,
+            )
+            self.bucket = TokenBucket(rate=rate, burst=max(1.0, rate * 0.02), now=now)
+            self._act("shed_on", p99=p99, admit_rate=rate)
+        elif self.shedding and p99 < self.policy.shed_low * self.slo_p99:
+            self.shedding = False
+            self.bucket = None
+            self._act("shed_off", p99=p99)

@@ -1,0 +1,202 @@
+"""SLO accounting: per-query latency outcomes folded into one report.
+
+The serving scenario's deliverable is a :class:`SloReport` — attainment
+against the p99 latency objective, tail percentiles, shed load, and
+per-incident recovery times — comparable across controller-on and
+controller-off runs of the *same* seeded scenario.  Reports serialize to
+canonical JSON (sorted keys, no wall-clock stamps), so the same seed and
+configuration produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import USEC
+
+__all__ = ["Incident", "SloReport", "compare_reports"]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One excursion of the windowed p99 above the SLO."""
+
+    start: float
+    end: float
+
+    @property
+    def recovery_time(self) -> float:
+        """Seconds from SLO breach to sustained recovery."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Outcome of one serving-scenario run.
+
+    ``attainment`` counts a query as attained only if it was admitted,
+    completed, *and* finished within the SLO latency — shed queries are
+    failures against the objective, not a separate ledger.
+    """
+
+    duration: float
+    slo_p99: float
+    controller: bool
+    traffic_seed: int
+    storm: str
+    arrived: int
+    completed: int
+    attained: int
+    deadline_misses: int
+    shed_admission: int
+    shed_overflow: int
+    latency_p50_us: float
+    latency_p99_us: float
+    latency_p999_us: float
+    latency_mean_us: float
+    incidents: tuple[Incident, ...] = ()
+    controller_actions: dict[str, int] = field(default_factory=dict)
+    health_events: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arrived < 0 or self.completed < 0 or self.attained < 0:
+            raise ConfigError("query counts must be >= 0")
+        if self.attained > self.arrived:
+            raise ConfigError("attained queries cannot exceed arrivals")
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def shed(self) -> int:
+        """Queries dropped before service (admission control + overflow)."""
+        return self.shed_admission + self.shed_overflow
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of arrivals dropped before service."""
+        return self.shed / self.arrived if self.arrived else 0.0
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of arrivals served within the SLO latency."""
+        return self.attained / self.arrived if self.arrived else 1.0
+
+    @property
+    def mean_recovery_time(self) -> float:
+        """Mean seconds from SLO breach to recovery (0.0 if no incidents)."""
+        if not self.incidents:
+            return 0.0
+        return sum(i.recovery_time for i in self.incidents) / len(self.incidents)
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view including the derived metrics."""
+        out = asdict(self)
+        out["incidents"] = [
+            {"start": i.start, "end": i.end, "recovery_time": i.recovery_time}
+            for i in self.incidents
+        ]
+        out["health_events"] = list(self.health_events)
+        out["shed"] = self.shed
+        out["shed_fraction"] = self.shed_fraction
+        out["attainment"] = self.attainment
+        out["mean_recovery_time"] = self.mean_recovery_time
+        return out
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, newline-terminated, no timestamps.
+
+        Byte-identical for identical runs — the determinism tests diff
+        this string directly.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "SloReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            duration=data["duration"],
+            slo_p99=data["slo_p99"],
+            controller=data["controller"],
+            traffic_seed=data["traffic_seed"],
+            storm=data["storm"],
+            arrived=data["arrived"],
+            completed=data["completed"],
+            attained=data["attained"],
+            deadline_misses=data["deadline_misses"],
+            shed_admission=data["shed_admission"],
+            shed_overflow=data["shed_overflow"],
+            latency_p50_us=data["latency_p50_us"],
+            latency_p99_us=data["latency_p99_us"],
+            latency_p999_us=data["latency_p999_us"],
+            latency_mean_us=data["latency_mean_us"],
+            incidents=tuple(
+                Incident(start=i["start"], end=i["end"]) for i in data["incidents"]
+            ),
+            controller_actions=dict(data["controller_actions"]),
+            health_events=tuple(data["health_events"]),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"serving report (controller {'on' if self.controller else 'off'}, "
+            f"{self.storm})",
+            f"  arrivals {self.arrived}  completed {self.completed}  "
+            f"shed {self.shed} ({100 * self.shed_fraction:.1f}%)",
+            f"  SLO p99 <= {self.slo_p99 / USEC:g} us: attainment "
+            f"{100 * self.attainment:.1f}%  deadline misses "
+            f"{self.deadline_misses}",
+            f"  latency p50/p99/p999: {self.latency_p50_us:.0f} / "
+            f"{self.latency_p99_us:.0f} / {self.latency_p999_us:.0f} us "
+            f"(mean {self.latency_mean_us:.0f} us)",
+        ]
+        if self.incidents:
+            lines.append(
+                f"  incidents: {len(self.incidents)}, mean recovery "
+                f"{self.mean_recovery_time:.2f} s"
+            )
+        if self.controller_actions:
+            acts = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.controller_actions.items())
+            )
+            lines.append(f"  controller actions: {acts}")
+        for event in self.health_events:
+            lines.append(f"  health: {event}")
+        return "\n".join(lines)
+
+
+def percentiles_us(latencies: list[float]) -> tuple[float, float, float, float]:
+    """(p50, p99, p999, mean) of ``latencies`` (seconds in, us out)."""
+    if not latencies:
+        return (0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(latencies, dtype=np.float64) / USEC
+    p50, p99, p999 = np.percentile(arr, [50.0, 99.0, 99.9])
+    return (float(p50), float(p99), float(p999), float(arr.mean()))
+
+
+def compare_reports(on: SloReport, off: SloReport) -> dict[str, float]:
+    """Controller-on vs controller-off deltas of the headline metrics.
+
+    Positive ``attainment_gain`` and negative ``shed_delta`` mean the
+    controller paid for itself; the CI gate and the tier-1 closed-loop
+    test assert exactly that.
+    """
+    if math.isclose(on.duration, off.duration) is False or on.storm != off.storm:
+        raise ConfigError(
+            "compare_reports needs two runs of the same scenario "
+            f"(got {on.storm!r}/{on.duration} vs {off.storm!r}/{off.duration})"
+        )
+    return {
+        "attainment_gain": on.attainment - off.attainment,
+        "shed_delta": on.shed_fraction - off.shed_fraction,
+        "p99_delta_us": on.latency_p99_us - off.latency_p99_us,
+        "recovery_delta_s": on.mean_recovery_time - off.mean_recovery_time,
+    }

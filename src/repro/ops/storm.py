@@ -1,0 +1,184 @@
+"""Fault storms: timed episodes of device misbehavior for serving runs.
+
+A :class:`FaultStorm` turns the one-shot knobs of
+:class:`~repro.faults.plan.FaultPlan` into a *schedule*: stripe members
+go stuck-slow for a while, drop out permanently, or suffer windows of
+elevated transient-error rate, while a plan-backed Pareto tail adds
+per-query latency spikes throughout.  Everything keys off one seed, so a
+storm replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..faults.plan import FaultPlan
+from ..units import USEC
+
+__all__ = ["StormEvent", "FaultStorm", "named_storm", "available_storms"]
+
+#: Episode kinds a storm can schedule.
+_KINDS = ("stuck", "drop", "error_burst")
+
+
+@dataclass(frozen=True)
+class StormEvent:
+    """One timed misbehavior episode against one stripe member.
+
+    ``duration=None`` makes the episode permanent (the only sensible
+    setting for ``"drop"``).  ``factor`` is the stuck-slow latency
+    multiplier; ``error_rate`` the transient-failure probability during
+    an ``"error_burst"``.
+    """
+
+    at: float
+    kind: str
+    device: int = 0
+    duration: float | None = None
+    factor: float = 8.0
+    error_rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigError(
+                f"storm event kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not math.isfinite(self.at) or self.at < 0:
+            raise ConfigError(f"storm event time must be >= 0, got {self.at}")
+        if self.device < 0:
+            raise ConfigError(f"device index must be >= 0, got {self.device}")
+        if self.duration is not None and (
+            not math.isfinite(self.duration) or self.duration <= 0
+        ):
+            raise ConfigError("storm event duration must be > 0 or None")
+        if not math.isfinite(self.factor) or self.factor < 1:
+            raise ConfigError(f"stuck factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ConfigError(
+                f"error_rate must be in [0, 1), got {self.error_rate}"
+            )
+
+    @property
+    def end(self) -> float | None:
+        """Episode end time (None = permanent)."""
+        return None if self.duration is None else self.at + self.duration
+
+
+@dataclass(frozen=True)
+class FaultStorm:
+    """A seeded schedule of :class:`StormEvent` episodes plus a spike tail.
+
+    The embedded :class:`~repro.faults.plan.FaultPlan` carries the
+    Pareto spike parameters and the seed for every per-query draw
+    (spike gates/sizes, retry-backoff jitter), so scenario outcomes are
+    replayable and order-independent exactly like backend fault runs.
+    """
+
+    seed: int = 0
+    events: tuple[StormEvent, ...] = ()
+    spike_rate: float = 0.0
+    spike_scale: float = 200 * USEC
+    spike_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigError(f"storm seed must be >= 0, got {self.seed}")
+        # Delegate spike validation to FaultPlan by constructing it once.
+        self.plan  # noqa: B018  — raises on invalid spike parameters
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The deterministic draw source shared by all per-query streams."""
+        return FaultPlan(
+            seed=self.seed,
+            spike_rate=self.spike_rate,
+            spike_scale=self.spike_scale,
+            spike_alpha=self.spike_alpha,
+        )
+
+    @property
+    def is_quiet(self) -> bool:
+        """Whether the storm injects anything at all."""
+        return not self.events and self.spike_rate == 0.0  # simlint: disable=FLOAT001
+
+    def describe(self) -> str:
+        """One-line summary echoed by the CLI for reproducibility."""
+        parts = [f"seed={self.seed}"]
+        if self.spike_rate > 0:
+            parts.append(
+                f"spikes={self.spike_rate:g}@{self.spike_scale / USEC:g}us"
+            )
+        for event in self.events:
+            span = "permanent" if event.duration is None else f"{event.duration:g}s"
+            detail = {
+                "stuck": f"x{event.factor:g}",
+                "drop": "",
+                "error_burst": f"p={event.error_rate:g}",
+            }[event.kind]
+            parts.append(
+                f"{event.kind}(dev{event.device}@{event.at:g}s {span} {detail})".replace(
+                    "  ", " "
+                )
+            )
+        return "fault storm: " + " ".join(parts)
+
+
+def _storm_none(seed: int) -> FaultStorm:
+    return FaultStorm(seed=seed)
+
+
+def _storm_dropout(seed: int) -> FaultStorm:
+    return FaultStorm(
+        seed=seed,
+        events=(StormEvent(at=1.0, kind="drop", device=0),),
+        spike_rate=0.01,
+    )
+
+
+def _storm_stuck(seed: int) -> FaultStorm:
+    return FaultStorm(
+        seed=seed,
+        events=(StormEvent(at=0.8, kind="stuck", device=2, duration=1.6, factor=10.0),),
+        spike_rate=0.01,
+    )
+
+
+def _storm_full(seed: int) -> FaultStorm:
+    """The kitchen sink: stuck member + dropout + error burst + spikes."""
+    return FaultStorm(
+        seed=seed,
+        events=(
+            StormEvent(at=0.6, kind="stuck", device=2, duration=1.8, factor=10.0),
+            StormEvent(at=1.2, kind="drop", device=0),
+            StormEvent(
+                at=1.6, kind="error_burst", device=5, duration=0.8, error_rate=0.2
+            ),
+        ),
+        spike_rate=0.02,
+    )
+
+
+_NAMED = {
+    "none": _storm_none,
+    "dropout": _storm_dropout,
+    "stuck": _storm_stuck,
+    "storm": _storm_full,
+}
+
+
+def available_storms() -> list[str]:
+    """Names accepted by :func:`named_storm` (and ``repro serve``)."""
+    return sorted(_NAMED)
+
+
+def named_storm(name: str, seed: int = 0) -> FaultStorm:
+    """Build a preset storm by name, rooted at ``seed``."""
+    key = name.lower()
+    if key not in _NAMED:
+        raise ConfigError(
+            f"unknown fault storm {name!r}; available: "
+            f"{', '.join(available_storms())}"
+        )
+    return _NAMED[key](seed)

@@ -359,9 +359,18 @@ def simulate_step_faulty(
             state["attempt"] = attempt + 1
             # Free the device queue slot during the backoff, then reissue
             # through admission, media and latency — real extra events.
+            # Jittered policies draw their uniform from the plan's seeded
+            # stream, so the DES replays the backend's exact waits.
             device_tags[dev].release()
+            jittered = getattr(policy, "jitter", 0.0) > 0
+            jitter_u = plan.backoff_jitter(i, attempt) if jittered else None
+            wait_time = (
+                policy.backoff(attempt, u=jitter_u)
+                if jittered
+                else policy.backoff(attempt)
+            )
             sim.schedule(
-                policy.backoff(attempt),
+                wait_time,
                 lambda: device_tags[dev].acquire(with_device_tag),
             )
 

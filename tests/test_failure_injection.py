@@ -24,6 +24,7 @@ from repro.errors import (
     FaultExhaustedError,
     GraphFormatError,
     ModelError,
+    PoolExhaustedError,
     ReproError,
     SimulationError,
     TraceError,
@@ -372,6 +373,87 @@ class TestRetryExhaustion:
         assert policy.total_backoff(4) == pytest.approx((2 + 4 + 8) * USEC)
 
 
+class TestBackoffJitter:
+    """Seeded full-jitter backoff: opt-in, replayable, default-invisible."""
+
+    def test_default_is_bit_identical_to_pre_jitter_backoff(self):
+        plain = RetryPolicy(max_attempts=5)
+        explicit = RetryPolicy(max_attempts=5, jitter=0.0)
+        for k in (1, 2, 3, 4):
+            assert explicit.backoff(k) == plain.backoff(k)
+            # Even with a draw supplied, zero jitter ignores it.
+            assert explicit.backoff(k, u=0.123) == plain.backoff(k)
+
+    def test_jitter_spreads_within_the_exponential_envelope(self):
+        policy = RetryPolicy(jitter=0.5, backoff_base=2 * USEC, backoff_factor=2.0)
+        base = 2 * USEC
+        assert policy.backoff(1, u=0.0) == pytest.approx(base * 0.5)
+        assert policy.backoff(1, u=1.0) == pytest.approx(base)
+        full = RetryPolicy(jitter=1.0, backoff_base=2 * USEC)
+        assert full.backoff(1, u=0.0) == pytest.approx(0.0)
+        # Expected cumulative wait shrinks by jitter/2 per wait.
+        assert policy.total_backoff(3) == pytest.approx((2 + 4) * USEC * 0.75)
+
+    def test_jitter_validation(self):
+        with pytest.raises(DeviceError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(DeviceError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(DeviceError):
+            RetryPolicy(jitter=float("nan"))
+
+    def test_jitter_draws_are_seeded_and_replayable(self):
+        plan = FaultPlan(seed=9)
+        ids = np.arange(50)
+        a = plan.backoff_jitters(ids, attempt=1)
+        b = plan.backoff_jitters(ids, attempt=1)
+        assert np.array_equal(a, b)
+        assert np.all((0.0 <= a) & (a < 1.0))
+        # Distinct attempts and distinct seeds give distinct streams.
+        assert not np.array_equal(a, plan.backoff_jitters(ids, attempt=2))
+        assert not np.array_equal(a, FaultPlan(seed=10).backoff_jitters(ids, 1))
+        assert plan.backoff_jitter(7, 1) == pytest.approx(
+            float(plan.backoff_jitters(np.array([7]), 1)[0])
+        )
+
+    def test_jitter_is_measurable_in_the_des(self):
+        """Same faults, jittered waits: time shifts deterministically."""
+        sizes = np.full(200, 128)
+        config = DESConfig.from_fluid(TestDESUnderFaults.CONFIG, num_devices=4)
+        plan = FaultPlan(seed=4, read_error_rate=0.15)
+        crisp = simulate_step_faulty(
+            sizes, config, plan, RetryPolicy(max_attempts=10)
+        )
+        jittered_policy = RetryPolicy(max_attempts=10, jitter=1.0)
+        jittered = simulate_step_faulty(sizes, config, plan, jittered_policy)
+        again = simulate_step_faulty(sizes, config, plan, jittered_policy)
+        assert jittered.retries == crisp.retries  # same fault outcomes
+        assert jittered.time != pytest.approx(crisp.time)  # waits moved
+        assert jittered.time == pytest.approx(again.time)  # but replayably
+
+    def test_backend_and_des_share_the_jitter_stream(self, urand_small):
+        """The vectorized backend pays seeded jittered waits too."""
+        plan = FaultPlan(seed=5, read_error_rate=0.1)
+
+        def run(jitter):
+            engine = ExternalGraphEngine(
+                urand_small,
+                faulty_factory(
+                    ZeroCopyBackend,
+                    plan,
+                    RetryPolicy(max_attempts=10, jitter=jitter),
+                    num_devices=16,
+                ),
+            )
+            return engine.bfs(0).stats
+
+        crisp, jittered, again = run(0.0), run(1.0), run(1.0)
+        assert jittered.retries == crisp.retries
+        assert jittered.retry_wait_time == pytest.approx(again.retry_wait_time)
+        assert jittered.retry_wait_time != pytest.approx(crisp.retry_wait_time)
+        assert jittered.retry_wait_time < crisp.retry_wait_time  # E[u] < 1
+
+
 class TestDeviceDropoutDegradesGracefully:
     def test_mid_run_dropout_completes_with_eviction(self, urand_small):
         clean = ExternalGraphEngine(urand_small, ZeroCopyBackend).bfs(0)
@@ -424,6 +506,46 @@ class TestDeviceDropoutDegradesGracefully:
         assert tracker.failed == set()
         with pytest.raises(DeviceLostError):
             tracker.evict(0)
+
+    def test_evicting_last_survivor_raises_typed_error(self):
+        """Regression: the guard raises PoolExhaustedError specifically.
+
+        The subclass keeps every existing ``except DeviceLostError`` and
+        ``except DeviceError`` handler working.
+        """
+        tracker = PoolHealthTracker(3)
+        tracker.evict(0)
+        tracker.evict(1)
+        with pytest.raises(PoolExhaustedError):
+            tracker.evict(2)
+        assert tracker.surviving == [2]
+        assert issubclass(PoolExhaustedError, DeviceError)
+        assert issubclass(PoolExhaustedError, DeviceLostError)
+
+    def test_suspend_readmit_cycle(self):
+        """The circuit breaker: probation is out-of-service but reversible."""
+        tracker = PoolHealthTracker(4)
+        tracker.suspend(1, reason="stuck-slow")
+        assert tracker.surviving == [0, 2, 3]
+        assert tracker.failed == set()
+        tracker.suspend(1)  # idempotent
+        tracker.readmit(1, reason="probes healthy")
+        assert tracker.surviving == [0, 1, 2, 3]
+        kinds = [e.kind for e in tracker.events]
+        assert kinds == ["suspended", "readmitted"]
+        with pytest.raises(DeviceError):
+            tracker.readmit(1)  # not on probation anymore
+
+    def test_suspending_last_survivor_raises(self):
+        tracker = PoolHealthTracker(3)
+        tracker.evict(0)
+        tracker.suspend(1)
+        with pytest.raises(PoolExhaustedError):
+            tracker.suspend(2)
+        # A probation member may still be evicted (already out of service).
+        tracker.evict(1, reason="failed probation")
+        assert tracker.probation == set()
+        assert tracker.surviving == [2]
 
     def test_empty_pool_degradation_rejected(self):
         with pytest.raises(DeviceLostError):
