@@ -1,0 +1,228 @@
+"""Benchmark runner: warmup, repeats, machine normalization, JSON output.
+
+The protocol per scenario: inputs are built once (untimed), the scenario
+runs ``warmup`` times to stabilise allocator/cache state, then ``repeats``
+timed samples.  Scenarios faster than ``_MIN_SAMPLE_S`` are batched —
+each sample times enough back-to-back runs to exceed the floor and
+reports the per-run time — so microsecond-scale paths (e.g. memoization
+hits) are never gated on clock noise.  ``best_s`` (the minimum) is the
+reported statistic — the minimum of repeated samples is the standard
+low-noise estimator for deterministic CPU-bound work.
+
+``normalized_best`` makes numbers comparable across hosts *and across
+time on a drifting host*: each timed sample is paired with an *adjacent*
+run of the fixed seeded NumPy calibration workload, and the reported
+value is the minimum per-sample ``time / adjacent_calibration`` ratio.
+Shared machines (CI runners, VMs with CPU steal) change speed on a
+seconds timescale; pairing each sample with a calibration taken moments
+before tracks those epochs far better than one calibration per
+invocation.  The CI regression gate compares normalized values (see
+:mod:`repro.bench.compare`); ``machine.calibration_s`` remains in the
+payload as the invocation-level yardstick.
+
+The ``verify`` mapping of the *last* timed run is recorded; every run's
+verify must be identical or the runner raises — a benchmark whose output
+drifts between repeats is measuring a bug, not a hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import BenchError
+from .scenarios import Prepared, prepare_family
+from .schema import KNOWN_FAMILIES, SCHEMA_VERSION, canonical_json, validate_payload
+
+__all__ = [
+    "calibrate",
+    "machine_info",
+    "run_scenario",
+    "run_family",
+    "run_benchmarks",
+]
+
+
+# Timed samples shorter than this are batched over multiple runs so the
+# clock reads something far above its resolution (and above scheduler
+# jitter); per-run time is reported.
+_MIN_SAMPLE_S = 0.01
+_MAX_INNER_LOOPS = 10_000
+
+_calibration_data: np.ndarray | None = None
+
+
+def _calibration_input() -> np.ndarray:
+    """The calibration workload's input, generated once per process."""
+    global _calibration_data
+    if _calibration_data is None:
+        _calibration_data = np.random.default_rng(0).random(1_000_000)
+    return _calibration_data
+
+
+def calibrate(loops: int = 3) -> float:
+    """Time a fixed seeded workload; the machine's speed yardstick.
+
+    Two components per loop, sized to contribute comparably: NumPy sort +
+    elementwise arithmetic over one million doubles (tracks the
+    vectorized scenarios) and a pure-Python heap churn (tracks the
+    interpreter-bound DES event loop) — host speed epochs affect the two
+    regimes differently, so a single-regime yardstick would mis-normalize
+    the other.  Repeated ``loops`` times, best-of-3, deterministic
+    inputs; the only variable is the host.
+    """
+    data = _calibration_input()
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(loops):
+            np.sort(data)
+            float((data * 1.0000001 + 0.5).sum())
+            heap: list[tuple[int, int]] = []
+            push = heapq.heappush
+            pop = heapq.heappop
+            for i in range(20_000):
+                push(heap, ((i * 2654435761) & 0xFFFF, i))
+            while heap:
+                pop(heap)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def machine_info() -> dict[str, Any]:
+    """Host identification block for the payload (no wall-clock stamps)."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "calibration_s": calibrate(),
+    }
+
+
+def run_scenario(
+    prepared: Prepared,
+    *,
+    warmup: int,
+    repeats: int,
+) -> dict[str, Any]:
+    """Time one prepared scenario and return its benchmark entry.
+
+    Each of the ``repeats`` samples is normalized by an adjacent
+    calibration run; ``normalized_best`` is the minimum per-sample
+    ratio, which stays comparable even when the host's speed drifts
+    between invocations (see the module docstring).
+    """
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        prepared.run()
+    # One probe run sizes the inner batch so every timed sample spans at
+    # least _MIN_SAMPLE_S; its result seeds the verify cross-check.
+    start = time.perf_counter()
+    verify: Mapping[str, Any] | None = prepared.run()
+    probe = time.perf_counter() - start
+    inner = max(1, min(_MAX_INNER_LOOPS, int(_MIN_SAMPLE_S / max(probe, 1e-9))))
+    times: list[float] = []
+    ratios: list[float] = []
+    cal_before = calibrate(loops=1)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            result = prepared.run()
+        per_run = (time.perf_counter() - start) / inner
+        # Sandwich: average the calibrations bracketing this sample, so
+        # the yardstick is centred on the sample's own speed epoch.
+        cal_after = calibrate(loops=1)
+        times.append(per_run)
+        ratios.append(per_run / ((cal_before + cal_after) / 2))
+        cal_before = cal_after
+        if verify is not None and dict(result) != dict(verify):
+            raise BenchError(
+                f"benchmark {prepared.name}: verify block changed between "
+                f"repeats ({dict(verify)} != {dict(result)})"
+            )
+        verify = result
+    best = min(times)
+    throughput = None
+    if prepared.work_unit is not None and prepared.work_amount is not None:
+        throughput = {
+            "unit": prepared.work_unit,
+            "value": prepared.work_amount / best,
+        }
+    return {
+        "name": prepared.name,
+        "family": prepared.family,
+        "params": dict(prepared.params),
+        "times_s": times,
+        "best_s": best,
+        "mean_s": sum(times) / len(times),
+        "normalized_best": min(ratios),
+        "throughput": throughput,
+        "verify": dict(verify or {}),
+    }
+
+
+def run_family(
+    family: str,
+    *,
+    quick: bool = False,
+    warmup: int = 1,
+    repeats: int = 3,
+    machine: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run every scenario of ``family``; return the validated payload."""
+    machine = dict(machine) if machine is not None else machine_info()
+    benchmarks = [
+        run_scenario(prepared, warmup=warmup, repeats=repeats)
+        for prepared in prepare_family(family, quick=quick)
+    ]
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "family": family,
+        "config": {"quick": quick, "repeats": repeats, "warmup": warmup},
+        "machine": machine,
+        "benchmarks": benchmarks,
+    }
+    validate_payload(payload)
+    return payload
+
+
+def run_benchmarks(
+    families: Sequence[str] | None = None,
+    *,
+    out_dir: str | Path = "bench_results",
+    quick: bool = False,
+    warmup: int = 1,
+    repeats: int = 3,
+) -> list[Path]:
+    """Run families and write one ``BENCH_<family>.json`` each.
+
+    Returns the written paths in family order.  The machine is calibrated
+    once and shared across families so their normalized values are on the
+    same scale.
+    """
+    families = tuple(families) if families else KNOWN_FAMILIES
+    for family in families:
+        if family not in KNOWN_FAMILIES:
+            raise BenchError(
+                f"unknown bench family {family!r} (known: {KNOWN_FAMILIES})"
+            )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    machine = machine_info()
+    paths: list[Path] = []
+    for family in families:
+        payload = run_family(
+            family, quick=quick, warmup=warmup, repeats=repeats, machine=machine
+        )
+        path = out / f"BENCH_{family}.json"
+        path.write_text(canonical_json(payload), encoding="utf-8")
+        paths.append(path)
+    return paths

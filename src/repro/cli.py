@@ -21,6 +21,11 @@ Subcommands
     Run the traffic-driven serving scenario under a fault storm and
     print the SLO report (``repro serve --fault-storm storm``);
     ``--controller both`` compares self-healing on vs off.
+``bench``
+    Run the benchmark harness and write ``BENCH_<family>.json`` files
+    (``repro bench --families des traversal``); ``--compare A B`` diffs
+    two result files and ``--check BASE CAND`` applies the regression
+    gate (see ``docs/PERFORMANCE.md``).
 
 ``run``, ``profile`` and ``serve`` accept ``--trace PATH`` to write the
 collected telemetry as JSON-lines (``--trace-format jsonl``) or a Chrome
@@ -215,6 +220,52 @@ def build_parser() -> argparse.ArgumentParser:
         "attains at least controller-off (the CI gate)",
     )
     _add_trace_args(serve)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark harness: run families, compare runs, gate regressions",
+    )
+    bench.add_argument(
+        "--families", nargs="*", default=None, metavar="FAMILY",
+        help="benchmark families to run (default: all); see --list",
+    )
+    bench.add_argument(
+        "--out-dir", default="bench_results", metavar="DIR",
+        help="directory for BENCH_<family>.json files (default: bench_results)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timed runs per benchmark (default 3; best is reported)",
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="untimed warmup runs per benchmark (default 1)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller inputs (CI-sized); recorded in the payload config",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="print the scenario catalogue and exit",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, default=None, metavar=("BASE", "CAND"),
+        help="diff two BENCH_*.json files (per-benchmark delta table)",
+    )
+    bench.add_argument(
+        "--check", nargs=2, default=None, metavar=("BASE", "CAND"),
+        help="like --compare but exit 1 on regression beyond the threshold",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=None, metavar="X",
+        help="regression gate threshold as a fraction (default 0.15; "
+        "env REPRO_BENCH_GATE_THRESHOLD also overrides)",
+    )
+    bench.add_argument(
+        "--metric", default="normalized", choices=["normalized", "raw"],
+        help="compare machine-normalized times (default) or raw seconds",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -470,6 +521,53 @@ def _cmd_profile(args: argparse.Namespace) -> str:
     return "\n".join(parts)
 
 
+def _cmd_bench(args: argparse.Namespace) -> tuple[str, int]:
+    from .bench import (
+        check_regression,
+        compare_results,
+        load_result,
+        render_comparison,
+        run_benchmarks,
+        scenario_catalog,
+    )
+
+    if args.list_scenarios:
+        return format_table(scenario_catalog(), title="benchmark scenarios"), 0
+    if args.compare and args.check:
+        return "error: --compare and --check are mutually exclusive", 2
+    if args.compare:
+        base, cand = (load_result(p) for p in args.compare)
+        rows = compare_results(base, cand, metric=args.metric)
+        title = (
+            f"{base['family']}: {args.compare[0]} vs {args.compare[1]} "
+            f"({args.metric})"
+        )
+        return render_comparison(rows, title=title), 0
+    if args.check:
+        base, cand = (load_result(p) for p in args.check)
+        ok, rows = check_regression(
+            base, cand, threshold=args.threshold, metric=args.metric
+        )
+        title = (
+            f"{base['family']} regression gate: {args.check[0]} vs "
+            f"{args.check[1]} ({args.metric})"
+        )
+        output = render_comparison(rows, title=title)
+        if ok:
+            output += "\ngate passed: no benchmark regressed beyond the threshold"
+        else:
+            output += "\nGATE FAILED: regression beyond the threshold (see rows)"
+        return output, 0 if ok else 1
+    paths = run_benchmarks(
+        args.families,
+        out_dir=args.out_dir,
+        quick=args.quick,
+        warmup=args.warmup,
+        repeats=args.repeats,
+    )
+    return "\n".join(f"wrote {p}" for p in paths), 0
+
+
 def _serve_report_path(base: str, mode: str) -> str:
     """``slo.json`` -> ``slo.on.json`` when both modes write artifacts."""
     from pathlib import Path
@@ -547,6 +645,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
 }
 
 

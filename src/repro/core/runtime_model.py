@@ -19,6 +19,7 @@ from ..gpu.base import AccessMethod, PhysicalTrace
 from ..interconnect.pcie import PCIeLink
 from ..sim.fluid import FluidParams, TraceTiming, trace_time
 from ..traversal.trace import AccessTrace
+from .evalcache import cached_physical_trace
 
 __all__ = ["SystemModel", "RuntimeResult", "predict_runtime", "predict_runtime_des"]
 
@@ -120,9 +121,15 @@ class RuntimeResult:
 
 
 def predict_runtime(trace: AccessTrace, system: SystemModel) -> RuntimeResult:
-    """Price ``trace`` on ``system``; checks capacity first."""
+    """Price ``trace`` on ``system``; checks capacity first.
+
+    The expensive logical-to-physical expansion is memoized process-wide,
+    keyed by (trace content, method configuration) — see
+    :mod:`repro.core.evalcache`; sweeps that vary only the device or the
+    latency re-price the same physical trace without recomputing it.
+    """
     system.pool.check_fits(trace.edge_list_bytes)
-    physical = system.method.physical_trace(trace)
+    physical = cached_physical_trace(system.method, trace)
     timing = trace_time(physical.step_inputs(), system.fluid_params())
     return RuntimeResult(
         system=system.name,
@@ -156,7 +163,7 @@ def predict_runtime_des(
     from ..sim.des import DESConfig, simulate_step
 
     system.pool.check_fits(trace.edge_list_bytes)
-    physical = system.method.physical_trace(trace)
+    physical = cached_physical_trace(system.method, trace)
     params = system.fluid_params()
     config = DESConfig.from_fluid(params, num_devices=system.pool.count)
     total = 0.0

@@ -109,6 +109,8 @@ class ExternalGraphEngine:
         depths = np.full(n, -1, dtype=np.int64)
         depths[source] = 0
         frontier = np.array([source], dtype=np.int64)
+        # Reused mask-dedupe of the next frontier (no per-level sort).
+        discovered = np.zeros(n, dtype=bool)
         steps = 0
         tracer = get_tracer()
         with tracer.span("engine.bfs", source=source, vertices=n):
@@ -125,8 +127,10 @@ class ExternalGraphEngine:
                         )
                     steps += 1
                     unseen = neighbors[depths[neighbors] < 0]
-                    frontier = np.unique(unseen)
-                    depths[frontier] = steps
+                    depths[unseen] = steps
+                    discovered[unseen] = True
+                    frontier = np.flatnonzero(discovered)
+                    discovered[frontier] = False
         return _EngineRun(values=depths, steps=steps, stats=self.backend.stats)
 
     def sssp(self, source: int = 0) -> _EngineRun:
@@ -140,6 +144,7 @@ class ExternalGraphEngine:
         dist = np.full(n, np.inf)
         dist[source] = 0.0
         frontier = np.array([source], dtype=np.int64)
+        changed = np.zeros(n, dtype=bool)
         steps = 0
         tracer = get_tracer()
         with tracer.span("engine.sssp", source=source, vertices=n):
@@ -160,7 +165,10 @@ class ExternalGraphEngine:
                     candidate = dist[sources] + weights
                     before = dist[neighbors].copy()
                     np.minimum.at(dist, neighbors, candidate)
-                    frontier = np.unique(neighbors[dist[neighbors] < before])
+                    # Mask-dedupe the improved set (no per-round sort).
+                    changed[neighbors[dist[neighbors] < before]] = True
+                    frontier = np.flatnonzero(changed)
+                    changed[frontier] = False
         return _EngineRun(values=dist, steps=steps, stats=self.backend.stats)
 
     def connected_components(self) -> _EngineRun:
@@ -169,6 +177,7 @@ class ExternalGraphEngine:
         self.backend.reset_stats()
         labels = np.arange(n, dtype=np.int64)
         frontier = np.arange(n, dtype=np.int64)
+        changed = np.zeros(n, dtype=bool)
         steps = 0
         tracer = get_tracer()
         with tracer.span("engine.cc", vertices=n):
@@ -188,5 +197,7 @@ class ExternalGraphEngine:
                         break
                     before = labels[neighbors].copy()
                     np.minimum.at(labels, neighbors, labels[sources])
-                    frontier = np.unique(neighbors[labels[neighbors] < before])
+                    changed[neighbors[labels[neighbors] < before]] = True
+                    frontier = np.flatnonzero(changed)
+                    changed[frontier] = False
         return _EngineRun(values=labels, steps=steps, stats=self.backend.stats)

@@ -22,6 +22,7 @@ __all__ = [
     "SimulationError",
     "ModelError",
     "TelemetryError",
+    "BenchError",
 ]
 
 
@@ -103,3 +104,7 @@ class ModelError(ReproError, ValueError):
 
 class TelemetryError(ReproError, ValueError):
     """The telemetry layer was configured or fed malformed data."""
+
+
+class BenchError(ReproError, ValueError):
+    """A benchmark scenario, result file, or comparison is invalid."""

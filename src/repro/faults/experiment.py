@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.evalcache import cached_physical_trace
 from ..core.experiment import default_source, run_algorithm
 from ..core.runtime_model import SystemModel, predict_runtime
 from ..engine.backend import (
@@ -149,7 +150,7 @@ def run_fault_experiment(
 
     trace = run_algorithm(graph, algorithm, source=source)
     healthy = predict_runtime(trace, system)
-    physical = system.method.physical_trace(trace)
+    physical = cached_physical_trace(system.method, trace)
     faulty = faulty_trace_time(
         physical.step_inputs(),
         system.fluid_params(),

@@ -21,6 +21,7 @@ statistics; misses are what external memory must serve.
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -114,28 +115,36 @@ class StepLocalCache(CacheModel):
 
 
 class IdealCache(CacheModel):
-    """Infinite cache: each distinct block misses exactly once."""
+    """Infinite cache: each distinct block misses exactly once.
+
+    The seen set is a dense boolean mask indexed by block ID (block IDs
+    are byte offsets over alignment, so they are small non-negative
+    integers): membership is one fancy gather, marking is one fancy
+    scatter, and the mask grows geometrically — O(batch) amortised per
+    access with no per-block Python loop and no re-sorting of the
+    ever-growing seen set.
+    """
 
     def __init__(self) -> None:
         super().__init__()
-        self._seen: set[int] = set()
+        self._seen = np.zeros(0, dtype=bool)
 
     def access(self, block_ids: np.ndarray) -> int:
         block_ids = np.asarray(block_ids, dtype=np.int64)
         if block_ids.size == 0:
             return 0
         # First occurrence within this batch, then filter already-seen.
-        unique, first_pos = np.unique(block_ids, return_index=True)
-        if self._seen:
-            new_mask = np.fromiter(
-                (int(b) not in self._seen for b in unique),
-                dtype=bool,
-                count=unique.size,
-            )
-            new_blocks = unique[new_mask]
-        else:
-            new_blocks = unique
-        self._seen.update(int(b) for b in new_blocks)
+        unique = np.unique(block_ids)
+        if unique[0] < 0:
+            raise ModelError(f"negative block id {unique[0]} in cache access")
+        top = int(unique[-1]) + 1
+        seen = self._seen
+        if top > seen.size:
+            grown = np.zeros(max(top, 2 * seen.size), dtype=bool)
+            grown[: seen.size] = seen
+            self._seen = seen = grown
+        new_blocks = unique[~seen[unique]]
+        seen[new_blocks] = True
         misses = int(new_blocks.size)
         self.stats.misses += misses
         self.stats.hits += block_ids.size - misses
@@ -143,17 +152,27 @@ class IdealCache(CacheModel):
 
     def reset(self) -> None:
         self.stats = CacheStats()
-        self._seen = set()
+        self._seen = np.zeros(0, dtype=bool)
 
 
 class LRUCache(CacheModel):
     """Exact fully-associative LRU over ``capacity_blocks`` blocks.
 
-    Implemented with a dict (insertion-ordered in CPython) used as an LRU
-    list: hits are re-inserted at the back, evictions pop from the front.
-    Exactness matters here — the paper validates its RAF simulation against
-    BaM's hardware measurements, so approximate caches would undermine the
-    Figure 3 reproduction.
+    Exactness matters here — the paper validates its RAF simulation
+    against BaM's hardware measurements, so approximate caches would
+    undermine the Figure 3 reproduction.
+
+    Implemented as a last-access-tick dict plus a lazy-deletion min-heap
+    of ``(tick, block)`` entries: a hit just bumps the block's tick (no
+    reordering work), and an eviction pops heap entries until one matches
+    the block's current tick — that block is the true LRU victim.  Stale
+    entries are discarded as they surface, so each reference does O(1)
+    amortised dict work plus O(log k) heap work, with none of the
+    delete-and-reinsert churn of an ordered-dict LRU list.  The heap is
+    built lazily at the *first* eviction (heapify of the live ticks):
+    until the cache fills, and forever for caches that never fill (the
+    UVM path models its page cache as an LRU with effectively unbounded
+    capacity), every access is plain O(1) dict work with no heap memory.
     """
 
     def __init__(self, capacity_blocks: int) -> None:
@@ -161,35 +180,55 @@ class LRUCache(CacheModel):
         if capacity_blocks < 1:
             raise ModelError(f"cache capacity must be >= 1 block, got {capacity_blocks}")
         self.capacity_blocks = int(capacity_blocks)
-        self._lru: dict[int, None] = {}
+        self._tick_of: dict[int, int] = {}
+        self._heap: list[tuple[int, int]] | None = None
+        self._tick = 0
 
     def access(self, block_ids: np.ndarray) -> int:
         block_ids = np.asarray(block_ids, dtype=np.int64)
-        lru = self._lru
+        tick_of = self._tick_of
+        heap = self._heap
+        push = heapq.heappush
+        pop = heapq.heappop
         capacity = self.capacity_blocks
+        tick = self._tick
         misses = 0
         for block in block_ids.tolist():
-            if block in lru:
-                # Move to MRU position.
-                del lru[block]
-                lru[block] = None
-                self.stats.hits += 1
+            tick += 1
+            if block in tick_of:
+                tick_of[block] = tick
             else:
                 misses += 1
-                if len(lru) >= capacity:
-                    lru.pop(next(iter(lru)))
-                lru[block] = None
+                if len(tick_of) >= capacity:
+                    if heap is None:
+                        # First eviction: build the heap from live ticks.
+                        heap = [(t, b) for b, t in tick_of.items()]
+                        heapq.heapify(heap)
+                        self._heap = heap
+                    # Pop until a live entry surfaces: the LRU victim.
+                    while True:
+                        t, victim = pop(heap)
+                        if tick_of.get(victim) == t:
+                            del tick_of[victim]
+                            break
+                tick_of[block] = tick
+            if heap is not None:
+                push(heap, (tick, block))
+        self._tick = tick
         self.stats.misses += misses
+        self.stats.hits += block_ids.size - misses
         return misses
 
     def reset(self) -> None:
         self.stats = CacheStats()
-        self._lru = {}
+        self._tick_of = {}
+        self._heap = None
+        self._tick = 0
 
     @property
     def occupancy(self) -> int:
         """Blocks currently resident."""
-        return len(self._lru)
+        return len(self._tick_of)
 
 
 def make_cache(

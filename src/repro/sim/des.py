@@ -10,6 +10,19 @@ request ends the step.
 The DES exists to *validate* the fluid model (they must agree within a
 small tolerance — property-tested) and to run serialized microbenchmarks
 like Appendix B's pointer chase where a fluid model has nothing to say.
+
+Fast-path notes (benchmarked by the ``des`` family, docs/PERFORMANCE.md):
+per-request state travels as event arguments — one shared callback per
+stage for the whole step, no closure allocation per request — and the
+three FIFO stages between the device-tag grant and the shared link
+(IOPS admission, internal media channel, fixed access latency) are
+*fused*: their completion times are booked analytically with
+:meth:`repro.sim.resources.FifoServer.book` and one event is scheduled
+at the link-entry time, replacing three chained heap events.  A request
+therefore costs O(log n) for ~2 heap events rather than ~5, with float
+arithmetic identical to the chained version (FIFO completion times are
+computable at submission, and per-device admission times strictly
+increase, so booking order equals event order).
 """
 
 from __future__ import annotations
@@ -170,35 +183,40 @@ def simulate_step(
             f"des.dev{dev}.queue_depth", device_tags[dev].depth
         )
 
-    def start_request(i: int) -> None:
-        size = int(sizes[i])
-        dev = int(devices[i])
+    # Fast path: all callbacks are shared per step and carry the request
+    # index/device as event args (no per-request closures), and the three
+    # FIFO stages between the device-tag grant and the link — admission at
+    # the op rate, the internal media channel, the fixed access latency —
+    # are fused: their completion times are computable at the grant, so
+    # one event at the link-entry time replaces three chained events.
+    # The fused times are the exact same float expressions the chained
+    # version evaluates, in the same order (per-device admission times
+    # strictly increase, so booking order equals event order).
+    sizes_list = sizes.tolist()
+    devices_list = devices.tolist()
+    media_bw = config.device_internal_bandwidth
+    latency = config.latency
+    link_bw = config.link_bandwidth
 
-        def with_warp() -> None:
-            link_tags.acquire(with_link_tag)
+    def with_warp(i: int) -> None:
+        link_tags.acquire(with_link_tag, i)
 
-        def with_link_tag() -> None:
-            device_tags[dev].acquire(with_device_tag)
+    def with_link_tag(i: int) -> None:
+        device_tags[devices_list[i]].acquire(with_device_tag, i)
 
-        def with_device_tag() -> None:
-            if traced:
-                sample_depth(dev)
-            # Admission at the device's op rate...
-            device_ops[dev].submit_op(after_admission)
+    def with_device_tag(i: int) -> None:
+        dev = devices_list[i]
+        if traced:
+            sample_depth(dev)
+        # Admission at the device's op rate, then the device's internal
+        # channel, then the access latency — all booked analytically.
+        admitted = device_ops[dev].book_op(sim.now)
+        media_done = device_bw[dev].book(admitted, sizes_list[i] / media_bw)
+        sim.schedule_at(media_done + latency, after_latency, i, dev)
 
-        def after_admission() -> None:
-            # ...then the data crosses the device's internal channel...
-            device_bw[dev].submit(size / config.device_internal_bandwidth, after_media)
-
-        def after_media() -> None:
-            # ...the access latency elapses (pipelined across requests)...
-            sim.schedule(config.latency, after_latency)
-
-        def after_latency() -> None:
-            # ...and the response data serialises onto the shared link.
-            link.submit(size / config.link_bandwidth, lambda: finish(i, dev))
-
-        warps.acquire(with_warp)
+    def after_latency(i: int, dev: int) -> None:
+        # The response data serialises onto the shared link.
+        link.submit(sizes_list[i] / link_bw, finish, i, dev)
 
     def finish(i: int, dev: int) -> None:
         completion[i] = sim.now
@@ -210,7 +228,7 @@ def simulate_step(
 
     with tracer.span("des.step", requests=n, devices=config.num_devices):
         for i in range(n):
-            start_request(i)
+            warps.acquire(with_warp, i)
         end = sim.run(max_events=max_events)
     return DESResult(
         time=end + (config.step_overhead if include_overhead else 0.0),

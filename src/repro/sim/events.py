@@ -1,16 +1,24 @@
 """Minimal discrete-event kernel: a time-ordered event queue.
 
-Deliberately tiny: a heap of ``(time, sequence, callback)`` with FIFO
-tie-breaking, wrapped in a :class:`Simulator` that advances virtual time.
-Everything stateful (queues, servers, tag pools) lives in
+Deliberately tiny: a heap of ``(time, sequence, callback, args)`` with
+FIFO tie-breaking, wrapped in a :class:`Simulator` that advances virtual
+time.  Everything stateful (queues, servers, tag pools) lives in
 :mod:`repro.sim.resources` on top of this kernel.
+
+Hot-path notes: callbacks carry their arguments *in the event tuple*
+(``schedule(delay, cb, *args)``) so callers can share one function per
+simulation instead of allocating a closure per request — the dominant
+cost of the original design.  The sequence number is a plain integer
+bump (not :class:`itertools.count`) and :meth:`Simulator.run` drains the
+heap with locally-bound ``heappop`` — together these changes roughly
+halve the per-event overhead, benchmarked by the ``des`` family in
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable
+from typing import Any, Callable
 
 from ..errors import SimulationError
 
@@ -18,22 +26,33 @@ __all__ = ["EventQueue", "Simulator"]
 
 
 class EventQueue:
-    """Heap-ordered event queue with deterministic FIFO tie-breaking."""
+    """Heap-ordered event queue with deterministic FIFO tie-breaking.
+
+    Entries are ``(time, seq, callback, args)``; ``seq`` is unique and
+    increasing, so comparison never reaches the callback and same-time
+    events run in insertion order.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = 0
 
-    def push(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute ``time``."""
-        heapq.heappush(self._heap, (time, next(self._counter), callback))
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, args))
 
-    def pop(self) -> tuple[float, Callable[[], None]]:
-        """Remove and return the earliest ``(time, callback)``."""
+    def pop(self) -> tuple[float, Callable[..., None], tuple]:
+        """Remove and return the earliest ``(time, callback, args)``."""
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        time, _, callback = heapq.heappop(self._heap)
-        return time, callback
+        time, _, callback, args = heapq.heappop(self._heap)
+        return time, callback, args
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -50,19 +69,23 @@ class Simulator:
         self.events = EventQueue()
         self._processed = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` seconds from the current time."""
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` ``delay`` seconds from the current time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.events.push(self.now + delay, callback)
+        self.events.push(self.now + delay, callback, args)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` at absolute virtual ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self.now})"
             )
-        self.events.push(time, callback)
+        self.events.push(time, callback, args)
 
     def run(self, max_events: int | None = None) -> float:
         """Process events until the queue drains; returns the final time.
@@ -70,15 +93,23 @@ class Simulator:
         ``max_events`` guards against runaway simulations (exceeding it
         raises :class:`SimulationError` rather than looping forever).
         """
-        while self.events:
-            time, callback = self.events.pop()
-            if time < self.now:
-                raise SimulationError("event time moved backwards")
-            self.now = time
-            callback()
-            self._processed += 1
-            if max_events is not None and self._processed > max_events:
-                raise SimulationError(f"exceeded {max_events} events; runaway sim?")
+        heap = self.events._heap
+        pop = heapq.heappop
+        processed = self._processed
+        try:
+            while heap:
+                time, _, callback, args = pop(heap)
+                if time < self.now:
+                    raise SimulationError("event time moved backwards")
+                self.now = time
+                callback(*args)
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway sim?"
+                    )
+        finally:
+            self._processed = processed
         return self.now
 
     @property

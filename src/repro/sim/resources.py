@@ -4,12 +4,18 @@ These are the contended things a request passes through in the DES:
 counted permits (PCIe tags, device queue slots, warp slots), a serialized
 server with per-job service times (the shared link: ``bytes / W``), and a
 rate-limited server (a device's IOPS: one op per ``1/S``).
+
+Callbacks accept positional arguments (``acquire(cb, *args)``); combined
+with :meth:`FifoServer.book` — which advances the server's bookkeeping
+and returns the completion time *without* scheduling an event — the DES
+hot path can fuse consecutive FIFO stages into one scheduled event per
+request (see :func:`repro.sim.des.simulate_step`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Any, Callable
 
 from ..errors import SimulationError
 from .events import Simulator
@@ -27,17 +33,18 @@ class Semaphore:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: deque[Callable[[], None]] = deque()
+        self._waiters: deque[tuple[Callable[..., None], tuple]] = deque()
         self.max_in_use = 0
 
-    def acquire(self, callback: Callable[[], None]) -> None:
-        """Invoke ``callback`` when a permit is granted (maybe immediately)."""
+    def acquire(self, callback: Callable[..., None], *args: Any) -> None:
+        """Invoke ``callback(*args)`` when a permit is granted (maybe immediately)."""
         if self.capacity is None or self._in_use < self.capacity:
             self._in_use += 1
-            self.max_in_use = max(self.max_in_use, self._in_use)
-            callback()
+            if self._in_use > self.max_in_use:
+                self.max_in_use = self._in_use
+            callback(*args)
         else:
-            self._waiters.append(callback)
+            self._waiters.append((callback, args))
 
     def release(self) -> None:
         """Return a permit; hands it straight to the oldest waiter if any."""
@@ -45,8 +52,8 @@ class Semaphore:
             raise SimulationError(f"{self.name}: release without acquire")
         if self._waiters:
             # Permit changes hands without dropping _in_use.
-            callback = self._waiters.popleft()
-            self.sim.schedule(0.0, callback)
+            callback, args = self._waiters.popleft()
+            self.sim.schedule(0.0, callback, *args)
         else:
             self._in_use -= 1
 
@@ -85,16 +92,32 @@ class FifoServer:
         self.busy_time = 0.0
         self.jobs = 0
 
-    def submit(self, service_time: float, callback: Callable[[], None]) -> None:
-        """Enqueue a job; ``callback`` fires at its completion time."""
+    def submit(
+        self, service_time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Enqueue a job; ``callback(*args)`` fires at its completion time."""
+        done = self.book(self.sim.now, service_time)
+        self.sim.schedule_at(done, callback, *args)
+
+    def book(self, ready_time: float, service_time: float) -> float:
+        """Account for a job ready at ``ready_time``; return its finish time.
+
+        Pure bookkeeping — no event is scheduled.  Because the server is
+        FIFO and completion times are computable at submission, a caller
+        that already knows a job's ready time can chain several servers
+        analytically and schedule a single event at the final time
+        (event fusion; the DES fast path in :func:`repro.sim.des.simulate_step`).
+        Jobs must be booked in ready-time order, as a FIFO queue would
+        admit them.
+        """
         if service_time < 0:
             raise SimulationError(f"{self.name}: negative service time")
-        start = max(self.sim.now, self._free_at)
+        start = ready_time if ready_time > self._free_at else self._free_at
         done = start + service_time
         self._free_at = done
         self.busy_time += service_time
         self.jobs += 1
-        self.sim.schedule_at(done, callback)
+        return done
 
     @property
     def free_at(self) -> float:
@@ -116,6 +139,10 @@ class RateServer(FifoServer):
         super().__init__(sim, name=name)
         self.rate = rate
 
-    def submit_op(self, callback: Callable[[], None]) -> None:
+    def submit_op(self, callback: Callable[..., None], *args: Any) -> None:
         """Enqueue one op (service time ``1/rate``)."""
-        self.submit(1.0 / self.rate, callback)
+        self.submit(1.0 / self.rate, callback, *args)
+
+    def book_op(self, ready_time: float) -> float:
+        """Account for one op ready at ``ready_time``; return its finish time."""
+        return self.book(ready_time, 1.0 / self.rate)

@@ -45,6 +45,7 @@ def connected_components(graph: CSRGraph) -> CCResult:
     labels = np.arange(n, dtype=np.int64)
     frontier = np.arange(n, dtype=np.int64)
     frontiers: list[np.ndarray] = []
+    changed = np.zeros(n, dtype=bool)
     while frontier.size:
         frontiers.append(frontier)
         neighbors, sources, _ = gather_neighbors(graph, frontier, with_sources=True)
@@ -52,7 +53,10 @@ def connected_components(graph: CSRGraph) -> CCResult:
             break
         before = labels[neighbors].copy()
         np.minimum.at(labels, neighbors, labels[sources])
-        frontier = np.unique(neighbors[labels[neighbors] < before])
+        # Mask-dedupe the improved set (no per-round np.unique sort).
+        changed[neighbors[labels[neighbors] < before]] = True
+        frontier = np.flatnonzero(changed)
+        changed[frontier] = False
     trace = trace_from_frontiers(graph, frontiers, algorithm="cc")
     return CCResult(
         labels=labels,

@@ -4,6 +4,15 @@ Frontiers are held *sparse* (sorted arrays of vertex IDs) because the
 trace layer needs per-vertex sublists, but dense boolean masks are handy
 for membership tests; this module converts between the two and provides
 the core ``gather_neighbors`` primitive every traversal algorithm uses.
+
+Fast-path notes: ``gather_neighbors`` materialises a frontier's
+out-edges in O(E_f) with no Python loop (one ``repeat`` + one fancy
+gather).  The traversal algorithms deduplicate their next frontier with
+a *reused* boolean mark array — scatter candidate vertices into the
+mask, ``flatnonzero`` it, clear only the set bits — which is
+O(E_f + n) per round and replaces the O(E_f log E_f) ``np.unique``
+sort each round used to pay; the result is the same sorted unique
+vertex set, bit for bit.
 """
 
 from __future__ import annotations

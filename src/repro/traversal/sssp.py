@@ -72,6 +72,7 @@ def sssp_bellman_ford(graph: CSRGraph, source: int = 0) -> SSSPResult:
     dist[source] = 0.0
     frontier = np.array([source], dtype=np.int64)
     frontiers: list[np.ndarray] = []
+    changed = np.zeros(n, dtype=bool)
     while frontier.size:
         frontiers.append(frontier)
         neighbors, sources, edge_idx = gather_neighbors(
@@ -82,8 +83,11 @@ def sssp_bellman_ford(graph: CSRGraph, source: int = 0) -> SSSPResult:
         candidate = dist[sources] + weights[edge_idx]
         before = dist[neighbors].copy()
         np.minimum.at(dist, neighbors, candidate)
-        improved = dist[neighbors] < before
-        frontier = np.unique(neighbors[improved])
+        # Mask-dedupe the improved set: O(E_f + n) against the
+        # O(E_f log E_f) sort np.unique would pay per round.
+        changed[neighbors[dist[neighbors] < before]] = True
+        frontier = np.flatnonzero(changed)
+        changed[frontier] = False
     trace = trace_from_frontiers(graph, frontiers, algorithm="sssp")
     return SSSPResult(
         source=source,
@@ -111,6 +115,7 @@ def sssp_delta_stepping(
     dist = np.full(n, np.inf, dtype=np.float64)
     dist[source] = 0.0
     frontiers: list[np.ndarray] = []
+    changed = np.zeros(n, dtype=bool)
 
     def relax(frontier: np.ndarray, light_only: bool) -> np.ndarray:
         """Relax frontier edges (light = weight <= delta); return improved set."""
@@ -130,7 +135,10 @@ def sssp_delta_stepping(
         candidate = dist[sources] + w
         before = dist[neighbors].copy()
         np.minimum.at(dist, neighbors, candidate)
-        return np.unique(neighbors[dist[neighbors] < before])
+        changed[neighbors[dist[neighbors] < before]] = True
+        improved = np.flatnonzero(changed)
+        changed[improved] = False
+        return improved
 
     bucket_of = lambda v: dist[v] // delta  # noqa: E731
     current_bucket = 0.0

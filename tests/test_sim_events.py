@@ -13,8 +13,8 @@ class TestEventQueue:
         q.push(2.0, lambda: log.append("b"))
         q.push(1.0, lambda: log.append("a"))
         for _ in range(2):
-            _, cb = q.pop()
-            cb()
+            _, cb, args = q.pop()
+            cb(*args)
         assert log == ["a", "b"]
 
     def test_fifo_tie_breaking(self):
@@ -23,8 +23,17 @@ class TestEventQueue:
         for name in "abc":
             q.push(1.0, lambda n=name: log.append(n))
         while q:
-            q.pop()[1]()
+            _, cb, args = q.pop()
+            cb(*args)
         assert log == ["a", "b", "c"]
+
+    def test_args_travel_with_the_event(self):
+        q = EventQueue()
+        log = []
+        q.push(1.0, log.append, ("x",))
+        _, cb, args = q.pop()
+        cb(*args)
+        assert log == ["x"]
 
     def test_pop_empty_raises(self):
         with pytest.raises(SimulationError, match="empty"):
@@ -90,3 +99,11 @@ class TestSimulator:
 
     def test_empty_run_returns_zero(self):
         assert Simulator().run() == 0.0
+
+    def test_schedule_passes_args(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda a, b: log.append((sim.now, a, b)), 7, "x")
+        sim.schedule_at(2.0, log.append, "tail")
+        sim.run()
+        assert log == [(1.0, 7, "x"), "tail"]
