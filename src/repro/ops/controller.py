@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..units import USEC
 
 __all__ = ["ControllerPolicy", "TokenBucket", "ServingController"]
 
@@ -228,8 +229,8 @@ class ServingController:
                 * self.policy.shed_admit_rate_factor,
             )
             self.bucket = TokenBucket(rate=rate, burst=max(1.0, rate * 0.02), now=now)
-            self._act("shed_on", p99=p99, admit_rate=rate)
+            self._act("shed_on", p99_us=p99 / USEC, admit_rate=rate)
         elif self.shedding and p99 < self.policy.shed_low * self.slo_p99:
             self.shedding = False
             self.bucket = None
-            self._act("shed_off", p99=p99)
+            self._act("shed_off", p99_us=p99 / USEC)

@@ -243,6 +243,26 @@ class TestServingScenario:
         assert tracer.events("ops.incident.start")
         assert tracer.events("ops.storm.apply")
 
+    def test_shed_events_report_p99_in_microseconds(self):
+        """Regression: shed_on/shed_off once emitted the windowed p99 in
+        *seconds* under a suffix-less ``p99`` attribute, off by 1e6 from
+        every other ``*_us`` telemetry field (caught by FLOW002)."""
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_serving_scenario(
+                "xlfdd", storm=named_storm("storm"), controller=True
+            )
+        shed_events = tracer.events("ops.controller.shed_on") + tracer.events(
+            "ops.controller.shed_off"
+        )
+        assert shed_events, "the storm scenario must trip admission control"
+        for event in shed_events:
+            assert "p99" not in event.attrs, "suffix-less seconds attr is back"
+            p99_us = event.attrs["p99_us"]
+            # Shedding toggles around the 4000 us SLO: a microsecond
+            # magnitude, not a seconds one (which would be < 1).
+            assert p99_us > 100.0
+
     def test_traced_and_untraced_runs_agree(self, storm_reports):
         on, _ = storm_reports
         tracer = Tracer()
