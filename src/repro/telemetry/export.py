@@ -189,13 +189,20 @@ def validate_chrome_trace(data: object) -> None:
 
 @dataclass(frozen=True)
 class SpanProfile:
-    """Aggregate statistics of all spans sharing one name."""
+    """Aggregate statistics of all spans sharing one name and timeline.
+
+    Aggregation is *per timeline*: a wall-clock second and a simulated
+    second measure different things, so summing them into one total
+    would corrupt every number in the profile (the same class of bug
+    FLOW001 flags in arithmetic).
+    """
 
     name: str
     count: int
     total: float
     self_total: float
     max_single: float
+    timeline: str = "wall"
 
     @property
     def mean(self) -> float:
@@ -204,12 +211,14 @@ class SpanProfile:
 
 
 def span_profiles(records: Iterable[TraceRecord]) -> list[SpanProfile]:
-    """Per-name span aggregates, sorted by inclusive time (descending)."""
-    totals: dict[str, list[float]] = {}
+    """Per-(timeline, name) span aggregates, by inclusive time (desc)."""
+    totals: dict[tuple[str, str], list[float]] = {}
     for record in records:
         if record.kind != "span":
             continue
-        entry = totals.setdefault(record.name, [0.0, 0.0, 0.0, 0.0])
+        entry = totals.setdefault(
+            (record.timeline, record.name), [0.0, 0.0, 0.0, 0.0]
+        )
         entry[0] += 1
         entry[1] += record.duration
         entry[2] += record.self_duration
@@ -221,10 +230,11 @@ def span_profiles(records: Iterable[TraceRecord]) -> list[SpanProfile]:
             total=entry[1],
             self_total=entry[2],
             max_single=entry[3],
+            timeline=timeline,
         )
-        for name, entry in totals.items()
+        for (timeline, name), entry in totals.items()
     ]
-    profiles.sort(key=lambda p: (-p.total, p.name))
+    profiles.sort(key=lambda p: (-p.total, p.name, p.timeline))
     return profiles
 
 
@@ -238,13 +248,13 @@ def render_profile(
     if not profiles:
         return "no spans recorded"
     header = (
-        f"{'span':<28} {'count':>7} {'inclusive':>12} {'self':>12} "
-        f"{'mean':>12} {'max':>12}"
+        f"{'span':<28} {'clock':>5} {'count':>7} {'inclusive':>12} "
+        f"{'self':>12} {'mean':>12} {'max':>12}"
     )
     lines = [header, "-" * len(header)]
     for profile in profiles[:top]:
         lines.append(
-            f"{profile.name:<28} {profile.count:>7} "
+            f"{profile.name:<28} {profile.timeline:>5} {profile.count:>7} "
             f"{_fmt_time(profile.total):>12} "
             f"{_fmt_time(profile.self_total):>12} "
             f"{_fmt_time(profile.mean):>12} "
@@ -256,22 +266,24 @@ def render_profile(
 
 
 def render_flamegraph(records: Iterable[TraceRecord]) -> str:
-    """Collapsed flamegraph stacks: ``parent;child <self-microseconds>``.
+    """Collapsed flamegraph stacks: ``clock;parent;child <self-usec>``.
 
-    One line per unique span stack with its accumulated *self* time in
-    integer microseconds — the input format of ``flamegraph.pl`` and
-    https://www.speedscope.app's "collapsed" importer.
+    One line per unique (timeline, span stack) with its accumulated
+    *self* time in integer microseconds — the input format of
+    ``flamegraph.pl`` and https://www.speedscope.app's "collapsed"
+    importer.  Each stack is rooted at a synthetic timeline frame
+    (``wall``/``sim``) so wall-clock and simulated durations never sum
+    into the same frame.
     """
-    stacks: dict[tuple[str, ...], float] = {}
+    stacks: dict[tuple[str, tuple[str, ...]], float] = {}
     for record in records:
         if record.kind != "span" or not record.stack:
             continue
-        stacks[record.stack] = stacks.get(record.stack, 0.0) + (
-            record.self_duration
-        )
+        key = (record.timeline, record.stack)
+        stacks[key] = stacks.get(key, 0.0) + record.self_duration
     return "\n".join(
-        f"{';'.join(stack)} {round(to_usec(value))}"
-        for stack, value in sorted(stacks.items())
+        f"{timeline};{';'.join(stack)} {round(to_usec(value))}"
+        for (timeline, stack), value in sorted(stacks.items())
     )
 
 

@@ -412,8 +412,36 @@ class TestExporters:
 
     def test_render_flamegraph_collapsed_stacks(self):
         lines = render_flamegraph(_golden_tracer().records).splitlines()
-        assert "run 2000" in lines  # 2 ms of self time in integer usec
-        assert "run;step 2000" in lines
+        # Stacks are rooted at their timeline; 2 ms self time in usec.
+        assert "wall;run 2000" in lines
+        assert "wall;run;step 2000" in lines
+
+    def test_profiles_never_mix_timelines(self):
+        """Regression: span_profiles/render_flamegraph once keyed by name
+        alone, summing wall and sim durations of same-named spans into
+        one meaningless total (FLOW001's bug class at aggregation time).
+        """
+        clock = FrozenClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work"):
+            clock.advance(0.001)
+
+        class FakeSim:
+            now = 0.0
+
+        sim = FakeSim()
+        sim_view = tracer.with_clock(SimClock(sim))
+        with sim_view.span("work"):
+            sim.now += 2.0  # two simulated seconds, one wall millisecond
+        profiles = {(p.timeline, p.name): p for p in span_profiles(tracer.records)}
+        assert profiles[("wall", "work")].total == pytest.approx(0.001)
+        assert profiles[("sim", "work")].total == pytest.approx(2.0)
+        flame = dict(
+            line.rsplit(" ", 1) for line in
+            render_flamegraph(tracer.records).splitlines()
+        )
+        assert int(flame["wall;work"]) == 1000
+        assert int(flame["sim;work"]) == 2_000_000
 
 
 class TestInstrumentation:
