@@ -1,0 +1,62 @@
+"""Git-diff-scoped linting (``repro lint --changed``).
+
+Collects the Python files that differ from the merge target: unstaged
+and staged modifications plus untracked files.  Used by the pre-commit
+hook so a commit only pays for the files it touches — note that the
+dataflow engine still *analyses* the whole tree (a one-line edit can
+change a summary three calls away); ``--changed`` scopes what gets
+*reported*.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["changed_python_files"]
+
+
+def _git_lines(args: list[str], root: Path) -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if proc.returncode != 0:
+        return []
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(
+    root: Path | str = ".", base: str | None = None
+) -> list[Path]:
+    """Python files changed relative to ``base`` (default: the index/HEAD).
+
+    Returns repo-root-relative paths of files that still exist (deleted
+    files lint nothing).  Outside a git repository the list is empty —
+    callers fall back to a full lint.
+    """
+    root = Path(root)
+    names: set[str] = set()
+    if base:
+        names.update(_git_lines(["diff", "--name-only", base], root))
+    else:
+        names.update(_git_lines(["diff", "--name-only", "HEAD"], root))
+        names.update(_git_lines(["diff", "--name-only", "--cached"], root))
+    names.update(
+        _git_lines(["ls-files", "--others", "--exclude-standard"], root)
+    )
+    out = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = root / name
+        if path.is_file():
+            out.append(path)
+    return out

@@ -12,6 +12,10 @@ Recognised keys::
     [tool.simlint.path-excludes]     # per-rule exclude override
     UNIT001 = ["*/units.py"]
 
+    [tool.simlint.dataflow]          # simlint v2 engine knobs
+    cache-dir = ".simlint-cache"     # warm-run finding cache (gitignored)
+    baseline = ".simlint-ratchet.json"  # committed ratchet baseline
+
 Path entries are matched against the POSIX form of each file path: a
 bare fragment ``"sim"`` matches any file under a directory named
 ``sim``; anything containing a glob character is used as an ``fnmatch``
@@ -73,6 +77,8 @@ class LintConfig:
     disable: tuple[str, ...] = ()
     paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
     path_excludes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    dataflow_cache_dir: str = ".simlint-cache"
+    dataflow_baseline: str = ".simlint-ratchet.json"
 
     @classmethod
     def default(cls) -> "LintConfig":
@@ -82,6 +88,21 @@ class LintConfig:
             disable=(),
             paths={},
             path_excludes={},
+        )
+
+    def digest_parts(self) -> str:
+        """A stable text form of everything that affects findings.
+
+        Feeds the dataflow cache fingerprint, so a config change (a new
+        exclude, a disabled rule) invalidates warm entries.
+        """
+        return repr(
+            (
+                self.exclude,
+                self.disable,
+                sorted(self.paths.items()),
+                sorted(self.path_excludes.items()),
+            )
         )
 
     def rule_enabled(self, rule: Rule) -> bool:
@@ -151,9 +172,24 @@ def _merge(base: LintConfig, table: dict[str, Any]) -> LintConfig:
             raise AnalysisError(f"[tool.simlint.{key}] must be a table")
         for rule_id, value in section.items():
             target[rule_id] = _as_str_tuple(value, f"{key}.{rule_id}")
+    dataflow_cache_dir = base.dataflow_cache_dir
+    dataflow_baseline = base.dataflow_baseline
+    dataflow = table.get("dataflow", {})
+    if not isinstance(dataflow, dict):
+        raise AnalysisError("[tool.simlint.dataflow] must be a table")
+    if "cache-dir" in dataflow:
+        if not isinstance(dataflow["cache-dir"], str):
+            raise AnalysisError("[tool.simlint.dataflow] cache-dir must be a string")
+        dataflow_cache_dir = dataflow["cache-dir"]
+    if "baseline" in dataflow:
+        if not isinstance(dataflow["baseline"], str):
+            raise AnalysisError("[tool.simlint.dataflow] baseline must be a string")
+        dataflow_baseline = dataflow["baseline"]
     return LintConfig(
         exclude=exclude,
         disable=disable,
         paths=paths,
         path_excludes=path_excludes,
+        dataflow_cache_dir=dataflow_cache_dir,
+        dataflow_baseline=dataflow_baseline,
     )

@@ -19,6 +19,7 @@ __all__ = [
     "AnalysisError",
     "FileContext",
     "Finding",
+    "RelatedLocation",
     "Rule",
     "all_rules",
     "get_rule",
@@ -31,13 +32,29 @@ class AnalysisError(ReproError, ValueError):
 
 
 @dataclass(frozen=True)
+class RelatedLocation:
+    """One step of a finding's supporting trail (e.g. a taint path).
+
+    Interprocedural rules attach the chain of locations a tainted value
+    travelled through — source, intermediate assignments/calls, sink —
+    so a report can show *how* the flagged value reached the sink.
+    Rendered as SARIF ``relatedLocations`` by the SARIF reporter.
+    """
+
+    path: str
+    line: int
+    note: str = ""
+
+
+@dataclass(frozen=True)
 class Finding:
     """One lint finding, anchored to a source location.
 
     ``suppressed`` is set by the driver when an inline
     ``# simlint: disable=RULE`` comment covers the finding's line;
     suppressed findings are kept (reporters can show them) but never
-    affect the exit code.
+    affect the exit code.  ``related`` is the (possibly empty) taint
+    path of an interprocedural finding, source first.
     """
 
     rule: str
@@ -46,6 +63,7 @@ class Finding:
     line: int
     col: int
     suppressed: bool = False
+    related: tuple[RelatedLocation, ...] = ()
 
     def suppress(self) -> "Finding":
         """A copy of this finding marked as suppressed."""

@@ -1,0 +1,66 @@
+"""simlint v2 — interprocedural dataflow analysis.
+
+Builds a project-wide symbol table (:mod:`.symbols`), a conservative
+call graph (:mod:`.callgraph`), per-function CFGs (:mod:`.cfg`), and
+runs a forward abstract interpretation (:mod:`.engine`) that propagates
+clock-domain, unit-dimension, and RNG-provenance facts through
+assignments, calls, returns, and container round-trips.
+
+The FLOW rules (:mod:`.flow_clock`, :mod:`.flow_units`,
+:mod:`.flow_seed`, :mod:`.flow_span`) plug into the engine's hook API
+and register in the ordinary simlint registry, so they share the
+suppression/reporter/config machinery of the per-file rules.
+"""
+
+from __future__ import annotations
+
+from .baseline import RatchetBaseline, finding_fingerprint
+from .cache import ENGINE_VERSION, DataflowCache, tree_fingerprint
+from .callgraph import CallGraph, build_call_graph, resolve_call
+from .cfg import CFG, Block, build_cfg
+from .engine import DataflowAnalysis, DataflowRule, DataflowStats, Site
+from .lattice import (
+    BOTTOM_VALUE,
+    TOP,
+    AbstractValue,
+    Fact,
+    TaintStep,
+    join_facts,
+    join_values,
+)
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex, module_name_for
+
+# Importing the rule modules registers the FLOW rules.
+from . import flow_clock as _flow_clock  # noqa: F401
+from . import flow_seed as _flow_seed  # noqa: F401
+from . import flow_span as _flow_span  # noqa: F401
+from . import flow_units as _flow_units  # noqa: F401
+
+__all__ = [
+    "AbstractValue",
+    "BOTTOM_VALUE",
+    "Block",
+    "CFG",
+    "CallGraph",
+    "DataflowAnalysis",
+    "DataflowCache",
+    "DataflowRule",
+    "DataflowStats",
+    "ENGINE_VERSION",
+    "Fact",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "RatchetBaseline",
+    "Site",
+    "TOP",
+    "TaintStep",
+    "build_call_graph",
+    "build_cfg",
+    "finding_fingerprint",
+    "join_facts",
+    "join_values",
+    "module_name_for",
+    "resolve_call",
+    "tree_fingerprint",
+]

@@ -1,0 +1,58 @@
+"""Ratchet baseline for dataflow findings.
+
+The baseline (``.simlint-ratchet.json``, committed) records the
+fingerprints of *accepted* findings.  ``--check-ratchet`` fails only on
+findings absent from the baseline — new debt — so the count can only
+ratchet downward.  Fingerprints hash rule id, path, and message (not
+the line number), so unrelated edits that shift code don't churn the
+baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core import Finding
+
+__all__ = ["RatchetBaseline", "finding_fingerprint"]
+
+_VERSION = 1
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Line-drift-robust identity of a finding."""
+    raw = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+@dataclass
+class RatchetBaseline:
+    """The committed set of accepted finding fingerprints."""
+
+    path: Path
+    entries: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "RatchetBaseline":
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text())
+            entries = {str(e) for e in raw.get("entries", [])}
+        except (OSError, ValueError, AttributeError):
+            entries = set()
+        return cls(path=path, entries=entries)
+
+    def new_findings(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline (i.e. new debt)."""
+        return [
+            f for f in findings if finding_fingerprint(f) not in self.entries
+        ]
+
+    def update(self, findings: list[Finding]) -> None:
+        """Rewrite the baseline to exactly the current finding set."""
+        self.entries = {finding_fingerprint(f) for f in findings}
+        payload = {"version": _VERSION, "entries": sorted(self.entries)}
+        self.path.write_text(json.dumps(payload, indent=2) + "\n")

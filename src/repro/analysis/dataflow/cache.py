@@ -1,0 +1,145 @@
+"""Content-fingerprint cache for dataflow runs.
+
+The analysis is interprocedural, so the cache key is a fingerprint of
+the *whole analysed tree* — every file's content hash, the active rule
+set, the effective configuration, and an engine version stamp.  Any
+edit anywhere invalidates the entry (sound by construction: a one-line
+change can shift a summary three calls away).  A warm hit replays the
+stored findings and analyses zero functions.
+
+Entries live under ``.simlint-cache/`` (gitignored) as small JSON
+files; the directory is pruned to the most recent handful so repeated
+local runs don't accumulate stale keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core import Finding, RelatedLocation
+
+__all__ = ["DataflowCache", "tree_fingerprint", "ENGINE_VERSION"]
+
+#: Bump whenever engine/rule semantics change — stale entries from an
+#: older analyser must never replay.
+ENGINE_VERSION = 2
+
+_MAX_ENTRIES = 8
+
+
+def tree_fingerprint(
+    sources: dict[str, str],
+    rule_ids: tuple[str, ...],
+    config_digest: str,
+) -> str:
+    """Stable fingerprint of an analysed tree + analysis parameters."""
+    digest = hashlib.sha256()
+    digest.update(f"engine:{ENGINE_VERSION}".encode())
+    digest.update(("rules:" + ",".join(sorted(rule_ids))).encode())
+    digest.update(("config:" + config_digest).encode())
+    for path in sorted(sources):
+        content = hashlib.sha256(sources[path].encode()).hexdigest()
+        digest.update(f"{path}:{content}".encode())
+    return digest.hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "message": finding.message,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "related": [
+            {"path": rel.path, "line": rel.line, "note": rel.note}
+            for rel in finding.related
+        ],
+    }
+
+
+def _finding_from_dict(raw: dict[str, object]) -> Finding:
+    related = tuple(
+        RelatedLocation(
+            path=str(step["path"]),
+            line=int(step["line"]),  # type: ignore[arg-type]
+            note=str(step.get("note", "")),
+        )
+        for step in raw.get("related", [])  # type: ignore[union-attr]
+        if isinstance(step, dict)
+    )
+    return Finding(
+        rule=str(raw["rule"]),
+        message=str(raw["message"]),
+        path=str(raw["path"]),
+        line=int(raw["line"]),  # type: ignore[arg-type]
+        col=int(raw["col"]),  # type: ignore[arg-type]
+        related=related,
+    )
+
+
+@dataclass
+class DataflowCache:
+    """Findings keyed by tree fingerprint, persisted as JSON files."""
+
+    directory: Path
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self._stats = {"hits": 0, "misses": 0}
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters of this cache instance."""
+        return dict(self._stats)
+
+    def _entry_path(self, fingerprint: str) -> Path:
+        return self.directory / f"dataflow-{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> list[Finding] | None:
+        """Replay cached findings, or None on a miss/corrupt entry."""
+        entry = self._entry_path(fingerprint)
+        try:
+            raw = json.loads(entry.read_text())
+            findings = [
+                _finding_from_dict(item)
+                for item in raw["findings"]
+                if isinstance(item, dict)
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._stats["misses"] += 1
+            return None
+        self._stats["hits"] += 1
+        return findings
+
+    def store(self, fingerprint: str, findings: list[Finding]) -> None:
+        """Persist findings for this tree state; prune old entries."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "version": ENGINE_VERSION,
+                "fingerprint": fingerprint,
+                "findings": [_finding_to_dict(f) for f in findings],
+            }
+            self._entry_path(fingerprint).write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
+            self._prune()
+        except OSError:
+            # Caching is best-effort; an unwritable directory (read-only
+            # checkout, CI sandbox) must never fail the lint run.
+            return
+
+    def _prune(self) -> None:
+        entries = sorted(
+            self.directory.glob("dataflow-*.json"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        for stale in entries[_MAX_ENTRIES:]:
+            try:
+                stale.unlink()
+            except OSError:
+                continue

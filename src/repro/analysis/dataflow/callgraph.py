@@ -1,0 +1,112 @@
+"""Call-graph construction over a :class:`~.symbols.ProjectIndex`.
+
+Resolution is deliberately conservative — an edge is recorded only when
+the callee is identified with confidence:
+
+1. the canonical dotted chain of the call (imports resolved through the
+   module's alias table) names an indexed function —
+   ``from repro.ops.slo import percentiles_us; percentiles_us(...)``;
+2. ``self.method(...)`` resolves inside the enclosing class;
+3. a bare name resolves lexically: an enclosing (nested) scope first,
+   then the caller's own module;
+4. an attribute call ``obj.method(...)`` resolves through the bare
+   method name when that name is *project-unique* — the duck-typed
+   ``scenario.windowed_p99()`` case.  Ambiguous names produce no edge.
+
+Unresolved calls are simply absent: the engine treats them as opaque
+(BOTTOM result) rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import canonical_chain
+from .symbols import FunctionInfo, ProjectIndex
+
+__all__ = ["CallGraph", "resolve_call", "build_call_graph"]
+
+#: Bare method names that collide with list/dict/set/str/file builtins.
+#: Even when the project defines exactly one method with such a name,
+#: most ``obj.append(...)`` sites are container operations — resolving
+#: them through the duck-typing fallback would wire unrelated call
+#: sites into one callee.
+_BUILTIN_METHOD_NAMES = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "copy",
+        "sort", "reverse", "count", "index", "add", "discard", "update",
+        "get", "items", "keys", "values", "setdefault", "popitem",
+        "split", "join", "strip", "format", "replace", "startswith",
+        "endswith", "lower", "upper", "encode", "decode", "read",
+        "write", "readline", "readlines", "close", "flush", "seek",
+    }
+)
+
+
+def resolve_call(
+    call: ast.Call, caller: FunctionInfo, index: ProjectIndex
+) -> FunctionInfo | None:
+    """The indexed callee of ``call``, or None when not confidently known."""
+    func = call.func
+    chain = canonical_chain(func, caller.aliases)
+    if chain:
+        dotted = ".".join(chain)
+        # Exact qualified match (module functions and imported names).
+        info = index.functions.get(dotted)
+        if info is not None:
+            return info
+        # self.method() inside a class.
+        if chain[0] == "self" and len(chain) == 2 and caller.class_name:
+            qualname = f"{caller.module}.{caller.class_name}.{chain[1]}"
+            info = index.functions.get(qualname)
+            if info is not None:
+                return info
+        # Bare name: nested scope (closure) first, then module scope.
+        if len(chain) == 1:
+            prefix = caller.qualname
+            while "." in prefix:
+                prefix = prefix.rsplit(".", 1)[0]
+                info = index.functions.get(f"{prefix}.{chain[0]}")
+                if info is not None and info.class_name is None:
+                    return info
+    # Duck-typed attribute call: unique bare method name project-wide.
+    if isinstance(func, ast.Attribute) and func.attr not in _BUILTIN_METHOD_NAMES:
+        info = index.unique_by_name(func.attr)
+        if info is not None and info.is_method:
+            return info
+    return None
+
+
+class CallGraph:
+    """Caller→callee edges over qualified function names."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        """Record one resolved caller -> callee edge."""
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def callees(self, caller: str) -> set[str]:
+        """Qualified names this function calls (resolved ones only)."""
+        return self.edges.get(caller, set())
+
+    def callers_of(self, callee: str) -> set[str]:
+        """Inverse lookup; used by tests and reporting."""
+        return {
+            caller
+            for caller, callees in self.edges.items()
+            if callee in callees
+        }
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    """Resolve every call site of every indexed function."""
+    graph = CallGraph()
+    for info in index.functions.values():
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                callee = resolve_call(node, info, index)
+                if callee is not None and callee.qualname != info.qualname:
+                    graph.add_edge(info.qualname, callee.qualname)
+    return graph

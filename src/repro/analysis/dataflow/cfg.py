@@ -1,0 +1,180 @@
+"""Per-function control-flow graphs.
+
+A :class:`CFG` is a set of basic blocks of ``ast.stmt`` nodes with
+successor edges, one entry block and one synthetic exit block.  The
+builder linearises straight-line code and splits at ``if``/``while``/
+``for``/``try``/``return``/``break``/``continue``; ``with`` bodies stay
+inline (the engine's transfer function handles the ``withitem``
+bindings, the body flows through the same block chain).
+
+Compound statements are recorded *header-only*: an ``ast.If`` node in a
+block stands for the evaluation of its test — its body/orelse live in
+successor blocks, so a statement is never transferred twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements and successor edges."""
+
+    id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+    def add_succ(self, block_id: int) -> None:
+        """Add an out-edge to ``block_id`` (idempotent)."""
+        if block_id not in self.succs:
+            self.succs.append(block_id)
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph (entry/exit are block ids)."""
+
+    blocks: dict[int, Block]
+    entry: int
+    exit: int
+
+    def preds(self) -> dict[int, list[int]]:
+        """Predecessor map (computed on demand; CFGs are small)."""
+        preds: dict[int, list[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succs:
+                preds[succ].append(block.id)
+        return preds
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self._next = 0
+
+    def new_block(self) -> Block:
+        block = Block(id=self._next)
+        self._next += 1
+        self.blocks[block.id] = block
+        return block
+
+    def build(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        entry = self.new_block()
+        exit_block = self.new_block()
+        tail = self._stmts(node.body, entry, exit_block, loop=None)
+        if tail is not None:
+            tail.add_succ(exit_block.id)
+        return CFG(blocks=self.blocks, entry=entry.id, exit=exit_block.id)
+
+    def _stmts(
+        self,
+        body: list[ast.stmt],
+        current: Block | None,
+        exit_block: Block,
+        loop: tuple[Block, Block] | None,
+    ) -> Block | None:
+        """Thread ``body`` through blocks; returns the open tail block.
+
+        ``None`` means every path returned/broke — there is no
+        fall-through.  ``loop`` is the (header, after) pair for
+        ``continue``/``break`` targets.
+        """
+        for stmt in body:
+            if current is None:
+                # Unreachable code after return/break; still give it a
+                # block so rules see it, but with no inbound edges.
+                current = self.new_block()
+            if isinstance(stmt, ast.If):
+                current.stmts.append(stmt)
+                after = self.new_block()
+                for branch in (stmt.body, stmt.orelse):
+                    if branch:
+                        head = self.new_block()
+                        current.add_succ(head.id)
+                        tail = self._stmts(branch, head, exit_block, loop)
+                        if tail is not None:
+                            tail.add_succ(after.id)
+                    else:
+                        current.add_succ(after.id)
+                current = after
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                header = self.new_block()
+                header.stmts.append(stmt)
+                current.add_succ(header.id)
+                after = self.new_block()
+                body_head = self.new_block()
+                header.add_succ(body_head.id)
+                header.add_succ(after.id)
+                tail = self._stmts(stmt.body, body_head, exit_block, (header, after))
+                if tail is not None:
+                    tail.add_succ(header.id)
+                if stmt.orelse:
+                    else_head = self.new_block()
+                    header.add_succ(else_head.id)
+                    else_tail = self._stmts(stmt.orelse, else_head, exit_block, loop)
+                    if else_tail is not None:
+                        else_tail.add_succ(after.id)
+                current = after
+            elif isinstance(stmt, ast.Try):
+                after = self.new_block()
+                body_head = self.new_block()
+                current.add_succ(body_head.id)
+                body_tail = self._stmts(stmt.body, body_head, exit_block, loop)
+                else_tail = body_tail
+                if stmt.orelse and body_tail is not None:
+                    else_head = self.new_block()
+                    body_tail.add_succ(else_head.id)
+                    else_tail = self._stmts(stmt.orelse, else_head, exit_block, loop)
+                if else_tail is not None:
+                    else_tail.add_succ(after.id)
+                for handler in stmt.handlers:
+                    # Any statement of the body may raise: approximate
+                    # by an edge from the body head to each handler.
+                    handler_head = self.new_block()
+                    body_head.add_succ(handler_head.id)
+                    handler_tail = self._stmts(
+                        handler.body, handler_head, exit_block, loop
+                    )
+                    if handler_tail is not None:
+                        handler_tail.add_succ(after.id)
+                if stmt.finalbody:
+                    final_head = self.new_block()
+                    after.add_succ(final_head.id)
+                    final_tail = self._stmts(
+                        stmt.finalbody, final_head, exit_block, loop
+                    )
+                    after = self.new_block()
+                    if final_tail is not None:
+                        final_tail.add_succ(after.id)
+                current = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.stmts.append(stmt)
+                current = self._stmts(stmt.body, current, exit_block, loop)
+            elif isinstance(stmt, ast.Return):
+                current.stmts.append(stmt)
+                current.add_succ(exit_block.id)
+                current = None
+            elif isinstance(stmt, ast.Raise):
+                current.stmts.append(stmt)
+                current.add_succ(exit_block.id)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                if loop is not None:
+                    current.add_succ(loop[1].id)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                if loop is not None:
+                    current.add_succ(loop[0].id)
+                current = None
+            else:
+                current.stmts.append(stmt)
+        return current
+
+
+def build_cfg(node: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder().build(node)

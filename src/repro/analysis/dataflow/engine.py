@@ -1,0 +1,789 @@
+"""The interprocedural forward dataflow / abstract-interpretation engine.
+
+The engine runs in three stages:
+
+1. **Module pass** — evaluate module-level assignments into a per-module
+   environment (units constants, module singletons) and give rules a
+   look at module-scope statements (FLOW003's shared-generator check).
+2. **Summary fixpoint** — every function body is abstractly interpreted
+   over its CFG (:mod:`.cfg`); the join of its return values, expressed
+   as a constant part plus the set of parameters that flow through to
+   the return, becomes the function's *summary*.  Summaries feed call
+   sites, so the whole-project iteration repeats until no summary
+   changes (flat lattices ⇒ a handful of passes).
+3. **Emit pass** — one more interpretation with stable summaries, now
+   with rule *checks* enabled; findings carry the taint path recorded
+   in each fact's origin chain.
+
+Rules plug in through the hook methods of :class:`DataflowRule`:
+``name_fact``/``call_result``/``attribute_result`` introduce facts
+(sources), ``binop_result`` transfers them through arithmetic, and the
+``check_*`` hooks are the sinks that produce findings.  Everything a
+hook cannot identify stays BOTTOM — the engine never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Iterator
+
+from ..config import LintConfig
+from ..core import Finding, RelatedLocation, Rule, canonical_chain
+from .callgraph import CallGraph, build_call_graph, resolve_call
+from .cfg import CFG, build_cfg
+from .lattice import (
+    BOTTOM_VALUE,
+    AbstractValue,
+    Fact,
+    TaintStep,
+    concrete_tag,
+    join_values,
+)
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["DataflowRule", "DataflowAnalysis", "EmitFn", "Site"]
+
+#: Hard cap on whole-project summary passes; flat lattices converge in
+#: 2-3 passes, the cap only guards pathological inputs.
+_MAX_PASSES = 10
+#: Per-function cap on block revisits during the intra-function fixpoint.
+_MAX_BLOCK_VISITS = 400
+
+
+@dataclass
+class Site:
+    """Where evaluation is happening (module scope or a function body)."""
+
+    module: str
+    path: str
+    aliases: dict[str, str]
+    function: FunctionInfo | None = None
+
+
+EmitFn = Callable[..., None]
+
+
+class DataflowRule(Rule):
+    """Base class for interprocedural FLOW rules.
+
+    Subclasses override any subset of the hooks; every default is a
+    no-op so a rule only pays for the domains it models.  ``check``
+    (the per-file AST entry point of plain rules) is intentionally
+    empty — FLOW rules only run under ``repro lint --dataflow``.
+    """
+
+    is_dataflow: ClassVar[bool] = True
+
+    def check(self, ctx) -> Iterator[Finding]:  # type: ignore[no-untyped-def]
+        return iter(())
+
+    # -- fact sources ---------------------------------------------------------
+
+    def name_fact(
+        self, chain: tuple[str, ...], node: ast.AST, site: Site
+    ) -> AbstractValue | None:
+        """Fact carried by a (canonicalised) name/attribute chain."""
+        return None
+
+    def call_result(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        site: Site,
+    ) -> AbstractValue | None:
+        """Fact produced by an (unresolved/external) call."""
+        return None
+
+    def attribute_result(
+        self, attr: str, base: AbstractValue, node: ast.AST, site: Site
+    ) -> AbstractValue | None:
+        """Fact produced by reading ``base.attr``."""
+        return None
+
+    # -- transfer -------------------------------------------------------------
+
+    def binop_result(
+        self, op: ast.operator, left: AbstractValue, right: AbstractValue
+    ) -> AbstractValue | None:
+        """Fact produced by ``left <op> right`` (None = no opinion)."""
+        return None
+
+    # -- sinks ----------------------------------------------------------------
+
+    def check_binop(
+        self,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.BinOp,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        """Flag ``left <op> right`` (arithmetic sinks)."""
+
+    def check_compare(
+        self,
+        left: AbstractValue,
+        comparators: list[AbstractValue],
+        node: ast.Compare,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        """Flag comparisons (ordering sinks)."""
+
+    def check_call(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        resolved: FunctionInfo | None,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        """Flag a call site (API sinks)."""
+
+    def check_module_assign(
+        self,
+        node: ast.Assign,
+        value: AbstractValue,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        """Flag a module-scope assignment."""
+
+    def check_function(
+        self, info: FunctionInfo, index: ProjectIndex, emit: EmitFn
+    ) -> None:
+        """Whole-function syntactic check (runs once, emit pass only)."""
+
+
+@dataclass
+class _Summary:
+    """One function's effect: constant return fact + passthrough params."""
+
+    value: AbstractValue = BOTTOM_VALUE
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Summary) and _values_equal(
+            self.value, other.value
+        )
+
+
+def _values_equal(a: AbstractValue, b: AbstractValue) -> bool:
+    """Equality up to origin chains (which never affect convergence)."""
+    return (
+        a.clock.value == b.clock.value
+        and a.unit.value == b.unit.value
+        and a.rng.value == b.rng.value
+        and a.clock_obj == b.clock_obj
+        and a.metric == b.metric
+        and a.tracer_obj == b.tracer_obj
+        and a.span_obj == b.span_obj
+        and a.from_params == b.from_params
+    )
+
+
+def _env_join(
+    a: dict[str, AbstractValue], b: dict[str, AbstractValue]
+) -> dict[str, AbstractValue]:
+    out = dict(a)
+    for name, value in b.items():
+        if name in out:
+            out[name] = join_values(out[name], value)
+        else:
+            out[name] = value
+    return out
+
+
+def _env_equal(a: dict[str, AbstractValue], b: dict[str, AbstractValue]) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(_values_equal(a[k], b[k]) for k in a)
+
+
+@dataclass
+class DataflowStats:
+    """Counters surfaced to the CLI, the cache tests, and the bench."""
+
+    functions_analyzed: int = 0
+    passes: int = 0
+    modules: int = 0
+    call_edges: int = 0
+    cache: dict[str, int] = field(default_factory=dict)
+
+
+class DataflowAnalysis:
+    """One interprocedural analysis run over a :class:`ProjectIndex`."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        rules: list[DataflowRule],
+        config: LintConfig | None = None,
+    ) -> None:
+        self.index = index
+        self.rules = rules
+        self.config = config if config is not None else LintConfig.default()
+        self.callgraph: CallGraph = build_call_graph(index)
+        self.summaries: dict[str, _Summary] = {}
+        #: Join of the actual-argument facts seen at every resolved call
+        #: site, per callee parameter — the forward half of the
+        #: interprocedural propagation (summaries are the return half).
+        #: Call sites that disagree join to TOP, so checks only fire on
+        #: parameters whose callers are unanimous.
+        self.param_facts: dict[str, dict[int, AbstractValue]] = {}
+        self._params_changed = False
+        self.class_attrs: dict[str, dict[str, AbstractValue]] = {}
+        self.module_env: dict[str, dict[str, AbstractValue]] = {}
+        self.stats = DataflowStats(
+            modules=len(index.modules),
+            call_edges=sum(len(c) for c in self.callgraph.edges.values()),
+        )
+        self.findings: list[Finding] = []
+        self._seen: set[tuple[str, str, int, int, str]] = set()
+        self._cfgs: dict[str, CFG] = {}
+        self._rules_for_path: dict[str, tuple[DataflowRule, ...]] = {}
+        self._emitting = False
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        """Analyse the whole project; returns the (unsorted) findings."""
+        self._module_pass(emit=False)
+        for _ in range(_MAX_PASSES):
+            self.stats.passes += 1
+            if not self._summary_pass():
+                break
+        self._emitting = True
+        self._module_pass(emit=True)
+        for info in self.index.functions.values():
+            self.stats.functions_analyzed += 1
+            self._analyze_function(info)
+            for rule in self._applicable(info.path):
+                rule.check_function(
+                    info, self.index, self._emitter(rule, info.path)
+                )
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return self.findings
+
+    # -- emission -------------------------------------------------------------
+
+    def _applicable(self, path: str) -> tuple[DataflowRule, ...]:
+        cached = self._rules_for_path.get(path)
+        if cached is None:
+            cached = tuple(
+                rule
+                for rule in self.rules
+                if self.config.rule_applies(rule, path)
+            )
+            self._rules_for_path[path] = cached
+        return cached
+
+    def _emitter(self, rule: DataflowRule, path: str) -> EmitFn:
+        def emit(
+            node: ast.AST,
+            message: str,
+            *facts: Fact,
+            related: tuple[RelatedLocation, ...] = (),
+        ) -> None:
+            if not self._emitting:
+                return
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            key = (rule.id, path, line, col, message)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            trail = list(related)
+            for fact in facts:
+                for step in fact.origin:
+                    loc = RelatedLocation(
+                        path=step.path, line=step.line, note=step.note
+                    )
+                    if loc not in trail:
+                        trail.append(loc)
+            self.findings.append(
+                Finding(
+                    rule=rule.id,
+                    message=message,
+                    path=path,
+                    line=line,
+                    col=col,
+                    related=tuple(trail),
+                )
+            )
+
+        return emit
+
+    def _null_emit(
+        self,
+        node: ast.AST,
+        message: str,
+        *facts: Fact,
+        related: tuple[RelatedLocation, ...] = (),
+    ) -> None:
+        return None
+
+    # -- module pass ----------------------------------------------------------
+
+    def _module_pass(self, emit: bool) -> None:
+        for module in self.index.modules.values():
+            site = Site(
+                module=module.name, path=module.path, aliases=module.aliases
+            )
+            env = self.module_env.setdefault(module.name, {})
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.Assign):
+                    value = self._eval(stmt.value, env, site)
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = join_values(
+                                env.get(target.id, BOTTOM_VALUE), value
+                            )
+                    if emit:
+                        for rule in self._applicable(module.path):
+                            rule.check_module_assign(
+                                stmt, value, site, self._emitter(rule, module.path)
+                            )
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    if isinstance(stmt.target, ast.Name):
+                        value = self._eval(stmt.value, env, site)
+                        env[stmt.target.id] = join_values(
+                            env.get(stmt.target.id, BOTTOM_VALUE), value
+                        )
+
+    # -- interprocedural fixpoint --------------------------------------------
+
+    def _summary_pass(self) -> bool:
+        changed = False
+        self._params_changed = False
+        for info in self.index.functions.values():
+            before = self.summaries.get(info.qualname)
+            after = self._analyze_function(info)
+            if before is None or before != after:
+                changed = True
+            self.summaries[info.qualname] = after
+        return changed or self._params_changed
+
+    def _cfg(self, info: FunctionInfo) -> CFG:
+        cfg = self._cfgs.get(info.qualname)
+        if cfg is None:
+            cfg = build_cfg(info.node)
+            self._cfgs[info.qualname] = cfg
+        return cfg
+
+    def _entry_env(self, info: FunctionInfo) -> dict[str, AbstractValue]:
+        env: dict[str, AbstractValue] = {}
+        incoming = self.param_facts.get(info.qualname, {})
+        for i, param in enumerate(info.params):
+            value = AbstractValue(from_params=frozenset({i}))
+            annotation = info.annotations.get(param)
+            if annotation is not None:
+                for rule in self._applicable(info.path):
+                    site = Site(info.module, info.path, info.aliases, info)
+                    fact = rule.name_fact(
+                        tuple(annotation.split(".")), info.node, site
+                    )
+                    if fact is not None:
+                        value = join_values(value, fact)
+            actual = incoming.get(i)
+            if actual is not None:
+                value = join_values(value, actual)
+            env[param] = value
+        return env
+
+    def _analyze_function(self, info: FunctionInfo) -> _Summary:
+        cfg = self._cfg(info)
+        site = Site(info.module, info.path, info.aliases, info)
+        in_envs: dict[int, dict[str, AbstractValue]] = {
+            cfg.entry: self._entry_env(info)
+        }
+        out_envs: dict[int, dict[str, AbstractValue]] = {}
+        preds = cfg.preds()
+        returns: list[AbstractValue] = [BOTTOM_VALUE]
+        worklist = [cfg.entry]
+        visits = 0
+        while worklist and visits < _MAX_BLOCK_VISITS:
+            visits += 1
+            block_id = worklist.pop(0)
+            block = cfg.blocks[block_id]
+            env = dict(in_envs.get(block_id, {}))
+            for stmt in block.stmts:
+                self._transfer(stmt, env, site, returns)
+            previous = out_envs.get(block_id)
+            if previous is not None and _env_equal(previous, env):
+                continue
+            out_envs[block_id] = env
+            for succ in block.succs:
+                joined = env
+                for pred in preds[succ]:
+                    if pred != block_id and pred in out_envs:
+                        joined = _env_join(joined, out_envs[pred])
+                current = in_envs.get(succ)
+                if current is None or not _env_equal(current, joined):
+                    in_envs[succ] = joined
+                    if succ not in worklist:
+                        worklist.append(succ)
+        summary = BOTTOM_VALUE
+        for value in returns:
+            summary = join_values(summary, value)
+        return _Summary(value=summary)
+
+    # -- statement transfer ---------------------------------------------------
+
+    def _transfer(
+        self,
+        stmt: ast.stmt,
+        env: dict[str, AbstractValue],
+        site: Site,
+        returns: list[AbstractValue],
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, site)
+            for target in stmt.targets:
+                self._assign(target, value, env, site)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env, site)
+                self._assign(stmt.target, value, env, site)
+        elif isinstance(stmt, ast.AugAssign):
+            left = self._eval(stmt.target, env, site)
+            right = self._eval(stmt.value, env, site)
+            result = self._binop(stmt.op, left, right, stmt, site)
+            self._assign(stmt.target, result, env, site)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                returns.append(self._eval(stmt.value, env, site))
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env, site)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env, site)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env, site)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # Container round-trip: the loop variable inherits the
+            # container's joined element fact.
+            value = self._eval(stmt.iter, env, site)
+            self._assign(stmt.target, value, env, site)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env, site)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, value, env, site)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env, site)
+        elif isinstance(stmt, (ast.Assert, ast.Delete, ast.Global, ast.Nonlocal)):
+            pass
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value: AbstractValue,
+        env: dict[str, AbstractValue],
+        site: Site,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, value, env, site)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, value, env, site)
+        elif isinstance(target, ast.Attribute):
+            chain = canonical_chain(target, site.aliases)
+            info = site.function
+            if (
+                info is not None
+                and info.class_name is not None
+                and chain[:1] == ("self",)
+                and len(chain) == 2
+            ):
+                key = f"{info.module}.{info.class_name}"
+                attrs = self.class_attrs.setdefault(key, {})
+                attrs[chain[1]] = join_values(
+                    attrs.get(chain[1], BOTTOM_VALUE), value
+                )
+        elif isinstance(target, ast.Subscript):
+            # Container write: fold the element into the container fact.
+            if isinstance(target.value, ast.Name):
+                name = target.value.id
+                env[name] = join_values(env.get(name, BOTTOM_VALUE), value)
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(
+        self,
+        node: ast.expr,
+        env: dict[str, AbstractValue],
+        site: Site,
+    ) -> AbstractValue:
+        if isinstance(node, ast.Name):
+            value = env.get(node.id)
+            if value is not None:
+                return value
+            value = self.module_env.get(site.module, {}).get(node.id)
+            if value is not None:
+                return value
+            return self._chain_fact((node.id,), node, site)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env, site)
+            result = BOTTOM_VALUE
+            timeline = concrete_tag(base.clock_obj)
+            if timeline is not None and node.attr == "now":
+                result = join_values(
+                    result,
+                    AbstractValue(
+                        clock=Fact(
+                            timeline,
+                            (
+                                TaintStep(
+                                    site.path,
+                                    getattr(node, "lineno", 1),
+                                    f"{timeline}-clock timestamp read here",
+                                ),
+                            ),
+                        )
+                    ),
+                )
+            info = site.function
+            if (
+                info is not None
+                and info.class_name is not None
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                attrs = self.class_attrs.get(f"{info.module}.{info.class_name}")
+                if attrs is not None and node.attr in attrs:
+                    result = join_values(result, attrs[node.attr])
+            for rule in self._applicable(site.path):
+                fact = rule.attribute_result(node.attr, base, node, site)
+                if fact is not None:
+                    result = join_values(result, fact)
+            chain = canonical_chain(node, site.aliases)
+            if chain:
+                result = join_values(result, self._chain_fact(chain, node, site))
+            return result
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, site)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, site)
+            right = self._eval(node.right, env, site)
+            return self._binop(node.op, left, right, node, site)
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env, site)
+            comparators = [self._eval(c, env, site) for c in node.comparators]
+            for rule in self._applicable(site.path):
+                rule.check_compare(
+                    left,
+                    comparators,
+                    node,
+                    site,
+                    self._emitter(rule, site.path),
+                )
+            return BOTTOM_VALUE
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env, site)
+        if isinstance(node, ast.BoolOp):
+            result = BOTTOM_VALUE
+            for value_node in node.values:
+                result = join_values(result, self._eval(value_node, env, site))
+            return result
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            result = BOTTOM_VALUE
+            for elt in node.elts:
+                result = join_values(result, self._eval(elt, env, site))
+            return result
+        if isinstance(node, ast.Dict):
+            result = BOTTOM_VALUE
+            for value_node in node.values:
+                if value_node is not None:
+                    result = join_values(result, self._eval(value_node, env, site))
+            return result
+        if isinstance(node, ast.Subscript):
+            # Container round-trip: indexing returns the joined element.
+            return self._eval(node.value, env, site)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, site)
+            return join_values(
+                self._eval(node.body, env, site),
+                self._eval(node.orelse, env, site),
+            )
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env, site)
+            self._assign(node.target, value, env, site)
+            return value
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env, site)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env, site)
+        return BOTTOM_VALUE
+
+    def _chain_fact(
+        self, chain: tuple[str, ...], node: ast.AST, site: Site
+    ) -> AbstractValue:
+        result = BOTTOM_VALUE
+        for rule in self._applicable(site.path):
+            fact = rule.name_fact(chain, node, site)
+            if fact is not None:
+                result = join_values(result, fact)
+        return result
+
+    def _binop(
+        self,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.stmt | ast.expr,
+        site: Site,
+    ) -> AbstractValue:
+        result = BOTTOM_VALUE
+        for rule in self._applicable(site.path):
+            if isinstance(node, ast.BinOp):
+                rule.check_binop(
+                    op, left, right, node, site, self._emitter(rule, site.path)
+                )
+            transferred = rule.binop_result(op, left, right)
+            if transferred is not None:
+                result = join_values(result, transferred)
+        return result
+
+    def _eval_call(
+        self,
+        call: ast.Call,
+        env: dict[str, AbstractValue],
+        site: Site,
+    ) -> AbstractValue:
+        args = [self._eval(arg, env, site) for arg in call.args]
+        kwargs: dict[str, AbstractValue] = {}
+        for keyword in call.keywords:
+            value = self._eval(keyword.value, env, site)
+            if keyword.arg is not None:
+                kwargs[keyword.arg] = value
+        receiver = BOTTOM_VALUE
+        if isinstance(call.func, ast.Attribute):
+            receiver = self._eval(call.func.value, env, site)
+        chain = canonical_chain(call.func, site.aliases)
+        resolved = (
+            resolve_call(call, site.function, self.index)
+            if site.function is not None
+            else None
+        )
+        result = BOTTOM_VALUE
+        if resolved is not None:
+            self._record_actuals(resolved, call, args, kwargs, site)
+            result = self._apply_summary(resolved, call, args, kwargs, site)
+        for rule in self._applicable(site.path):
+            fact = rule.call_result(chain, call, args, kwargs, receiver, site)
+            if fact is not None:
+                result = join_values(result, fact)
+            rule.check_call(
+                chain,
+                call,
+                args,
+                kwargs,
+                receiver,
+                resolved,
+                site,
+                self._emitter(rule, site.path),
+            )
+        return result
+
+    @staticmethod
+    def _actuals_for(
+        callee: FunctionInfo,
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+    ) -> dict[int, AbstractValue]:
+        """Map a call's argument facts onto the callee's parameter slots."""
+        actuals: dict[int, AbstractValue] = {}
+        offset = 0
+        if (
+            callee.is_method
+            and callee.params[:1] in (("self",), ("cls",))
+            and isinstance(call.func, ast.Attribute)
+        ):
+            offset = 1
+        for i, arg in enumerate(args):
+            actuals[i + offset] = arg
+        for name, arg in kwargs.items():
+            if name in callee.params:
+                actuals[callee.params.index(name)] = arg
+        return actuals
+
+    def _record_actuals(
+        self,
+        callee: FunctionInfo,
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        site: Site,
+    ) -> None:
+        """Fold this call site's argument facts into the callee's params."""
+        step = TaintStep(
+            site.path,
+            getattr(call, "lineno", 1),
+            f"passed into {callee.name}() here",
+        )
+        slot = self.param_facts.setdefault(callee.qualname, {})
+        for index, actual in self._actuals_for(callee, call, args, kwargs).items():
+            if actual.is_bottom:
+                continue
+            # The caller's passthrough indices are meaningless inside
+            # the callee; drop them before seeding its entry env.
+            incoming = AbstractValue(
+                clock=actual.clock,
+                unit=actual.unit,
+                rng=actual.rng,
+                clock_obj=actual.clock_obj,
+                metric=actual.metric,
+                tracer_obj=actual.tracer_obj,
+                span_obj=actual.span_obj,
+            ).stepped(step)
+            before = slot.get(index, BOTTOM_VALUE)
+            after = join_values(before, incoming)
+            if not _values_equal(before, after):
+                slot[index] = after
+                self._params_changed = True
+
+    def _apply_summary(
+        self,
+        callee: FunctionInfo,
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        site: Site,
+    ) -> AbstractValue:
+        summary = self.summaries.get(callee.qualname)
+        if summary is None:
+            return BOTTOM_VALUE
+        value = summary.value
+        if value.is_bottom:
+            return BOTTOM_VALUE
+        actuals = self._actuals_for(callee, call, args, kwargs)
+        step = TaintStep(
+            site.path,
+            getattr(call, "lineno", 1),
+            f"through call to {callee.name}()",
+        )
+        result = AbstractValue(
+            clock=value.clock,
+            unit=value.unit,
+            rng=value.rng,
+            clock_obj=value.clock_obj,
+            metric=value.metric,
+            tracer_obj=value.tracer_obj,
+            span_obj=value.span_obj,
+        ).stepped(step)
+        for index in value.from_params:
+            actual = actuals.get(index)
+            if actual is not None:
+                result = join_values(result, actual.stepped(step))
+        return result

@@ -1,0 +1,175 @@
+"""FLOW001 — clock-domain confusion (wall time vs simulated time).
+
+The reproduction runs on two timelines: the host's wall clock
+(``time.perf_counter`` behind :class:`repro.telemetry.clock.WallClock`)
+and the DES's simulated clock (``Simulator.now`` behind ``SimClock``).
+A wall timestamp subtracted from a sim timestamp — or a sim clock
+driving a tracer view labelled as the wall timeline — produces numbers
+that are silently wrong by the whole run's wall duration.
+
+Sources: ``time.time/perf_counter/monotonic`` reads and ``.now`` on a
+clock object (``WallClock`` → wall; ``SimClock``/``FrozenClock``/
+``Simulator`` → sim; parameter annotations count).  Sinks: arithmetic
+or comparisons mixing the two domains, and ``with_clock(clock,
+timeline=...)`` where the literal timeline contradicts the clock's
+domain.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import register
+from .engine import DataflowRule, EmitFn, Site
+from .lattice import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    AbstractValue,
+    Fact,
+    TaintStep,
+    concrete_tag,
+)
+from .symbols import FunctionInfo
+
+__all__ = ["ClockDomainRule"]
+
+#: Wall-clock reads (canonical chains; ``time`` is a level-0 import so
+#: aliases resolve fully).
+_WALL_CALLS = {
+    ("time", "time"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+}
+
+#: Clock-object constructors by bare class name.  Matched on the chain
+#: tail because in-package relative imports don't canonicalise.
+_CLOCK_CLASSES = {
+    "WallClock": CLOCK_WALL,
+    "SimClock": CLOCK_SIM,
+    "FrozenClock": CLOCK_SIM,
+    "Simulator": CLOCK_SIM,
+}
+
+
+@register
+class ClockDomainRule(DataflowRule):
+    """FLOW001: wall-clock and simulated-time values must never meet."""
+
+    id = "FLOW001"
+    title = "Clock-domain confusion"
+    rationale = (
+        "Mixing wall-clock and simulated-time values in arithmetic, or "
+        "mislabelling a tracer timeline, corrupts every latency number "
+        "downstream; the two time bases must never meet."
+    )
+    default_excludes = ("clock.py",)
+
+    # -- sources --------------------------------------------------------------
+
+    def name_fact(
+        self, chain: tuple[str, ...], node: ast.AST, site: Site
+    ) -> AbstractValue | None:
+        if chain and chain[-1] in _CLOCK_CLASSES:
+            return AbstractValue(clock_obj=_CLOCK_CLASSES[chain[-1]])
+        return None
+
+    def call_result(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        site: Site,
+    ) -> AbstractValue | None:
+        line = getattr(call, "lineno", 1)
+        if chain in _WALL_CALLS:
+            return AbstractValue(
+                clock=Fact(
+                    CLOCK_WALL,
+                    (TaintStep(site.path, line, f"{'.'.join(chain)}() read here"),),
+                )
+            )
+        if chain and chain[-1] in _CLOCK_CLASSES:
+            return AbstractValue(clock_obj=_CLOCK_CLASSES[chain[-1]])
+        if chain and chain[-1] == "with_clock":
+            # The view keeps recording; it is a tracer object.
+            return AbstractValue(tracer_obj=True)
+        return None
+
+    # -- sinks ----------------------------------------------------------------
+
+    def check_binop(
+        self,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.BinOp,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        self._check_mix(left, right, node, emit)
+
+    def check_compare(
+        self,
+        left: AbstractValue,
+        comparators: list[AbstractValue],
+        node: ast.Compare,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        for comparator in comparators:
+            self._check_mix(left, comparator, node, emit)
+
+    def _check_mix(
+        self,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.AST,
+        emit: EmitFn,
+    ) -> None:
+        if (
+            left.clock.is_concrete
+            and right.clock.is_concrete
+            and left.clock.value != right.clock.value
+        ):
+            emit(
+                node,
+                f"{left.clock.value}-clock value combined with a "
+                f"{right.clock.value}-clock value; the two timelines "
+                "must never meet in arithmetic",
+                left.clock,
+                right.clock,
+            )
+
+    def check_call(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        resolved: FunctionInfo | None,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        if not chain or chain[-1] != "with_clock" or not args:
+            return
+        clock = concrete_tag(args[0].clock_obj)
+        if clock is None:
+            return
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "timeline"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+                and keyword.value.value != clock
+            ):
+                emit(
+                    call,
+                    f"tracer view labelled timeline="
+                    f"{keyword.value.value!r} but driven by a "
+                    f"{clock}-domain clock",
+                )

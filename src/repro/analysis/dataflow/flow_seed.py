@@ -1,0 +1,181 @@
+"""FLOW003 — RNG seed provenance across function boundaries.
+
+Reproducibility requires every random stream to trace back to an
+explicit seed.  An unseeded ``default_rng()`` three calls away from the
+experiment driver silently destroys run-to-run determinism — the
+classic failure the DET001 per-file rule cannot see because creation
+and use live in different modules.
+
+Facts: ``seeded`` (explicit seed argument), ``unseeded`` (argless or
+``None``-seeded constructor), ``derived`` (``.spawn()`` children of a
+tracked generator — deterministic given the parent).  Sinks: creating
+an unseeded generator at all, passing one into an indexed function
+whose parameter name marks it as an RNG, and binding a generator to a
+module-level name (shared streams make call-order part of the seed).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import register
+from .engine import DataflowRule, EmitFn, Site
+from .lattice import (
+    RNG_DERIVED,
+    RNG_SEEDED,
+    RNG_UNSEEDED,
+    AbstractValue,
+    Fact,
+    TaintStep,
+)
+from .symbols import FunctionInfo
+
+__all__ = ["SeedProvenanceRule"]
+
+#: Constructor tails that create a NumPy/stdlib random stream.
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "Generator"}
+
+#: Parameter names that mark an RNG-consuming boundary.
+_RNG_PARAMS = {"rng", "generator", "random_state"}
+
+
+def _seed_state(call: ast.Call) -> str:
+    """seeded/unseeded classification of an RNG constructor call."""
+    seed: ast.expr | None = None
+    if call.args:
+        seed = call.args[0]
+    else:
+        for keyword in call.keywords:
+            if keyword.arg in ("seed", "x"):
+                seed = keyword.value
+    if seed is None:
+        return RNG_UNSEEDED
+    if isinstance(seed, ast.Constant) and seed.value is None:
+        return RNG_UNSEEDED
+    return RNG_SEEDED
+
+
+@register
+class SeedProvenanceRule(DataflowRule):
+    """FLOW003: every random stream must trace to an explicit seed."""
+
+    id = "FLOW003"
+    title = "RNG seed provenance"
+    rationale = (
+        "Every random stream must trace to an explicit seed; an unseeded "
+        "generator crossing a call boundary makes runs unreproducible in "
+        "a way no single-file check can see."
+    )
+
+    # -- sources --------------------------------------------------------------
+
+    def call_result(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        site: Site,
+    ) -> AbstractValue | None:
+        tail = chain[-1] if chain else (
+            call.func.attr if isinstance(call.func, ast.Attribute) else ""
+        )
+        line = getattr(call, "lineno", 1)
+        if tail in _RNG_CONSTRUCTORS or chain == ("random", "Random"):
+            state = _seed_state(call)
+            note = (
+                f"{tail}() created without a seed"
+                if state == RNG_UNSEEDED
+                else f"{tail}() seeded here"
+            )
+            return AbstractValue(
+                rng=Fact(state, (TaintStep(site.path, line, note),))
+            )
+        if tail == "spawn" and receiver.rng.is_concrete:
+            parent = receiver.rng
+            state = (
+                RNG_DERIVED
+                if parent.value in (RNG_SEEDED, RNG_DERIVED)
+                else RNG_UNSEEDED
+            )
+            return AbstractValue(
+                rng=parent.stepped(
+                    TaintStep(site.path, line, "child stream spawned here"),
+                    value=state,
+                )
+            )
+        return None
+
+    # -- sinks ----------------------------------------------------------------
+
+    def check_call(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        resolved: FunctionInfo | None,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        tail = chain[-1] if chain else (
+            call.func.attr if isinstance(call.func, ast.Attribute) else ""
+        )
+        # Creation sink: flag the constructor itself.
+        if (tail in _RNG_CONSTRUCTORS or chain == ("random", "Random")) and (
+            _seed_state(call) == RNG_UNSEEDED
+        ):
+            emit(
+                call,
+                f"{tail}() creates an unseeded random stream; pass an "
+                "explicit seed so runs are reproducible",
+            )
+            return
+        # Boundary sink: unseeded stream handed to an RNG-consuming
+        # function (positionally by parameter name, or by keyword).
+        if resolved is not None:
+            offset = 1 if resolved.is_method else 0
+            for position, value in enumerate(args):
+                index = position + offset
+                if index >= len(resolved.params):
+                    break
+                name = resolved.params[index]
+                self._check_boundary(name, value, call, resolved, emit)
+        for name, value in kwargs.items():
+            if resolved is None or name in resolved.params:
+                self._check_boundary(name, value, call, resolved, emit)
+
+    def _check_boundary(
+        self,
+        param: str,
+        value: AbstractValue,
+        call: ast.Call,
+        resolved: FunctionInfo | None,
+        emit: EmitFn,
+    ) -> None:
+        if param in _RNG_PARAMS and value.rng.value == RNG_UNSEEDED:
+            target = resolved.qualname if resolved is not None else "callee"
+            emit(
+                call,
+                f"unseeded random stream passed as {param!r} to "
+                f"{target}; seed it at creation",
+                value.rng,
+            )
+
+    def check_module_assign(
+        self,
+        node: ast.Assign | ast.AnnAssign,
+        value: AbstractValue,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        if value.rng.is_concrete:
+            emit(
+                node,
+                "random stream bound at module scope; shared streams make "
+                "import/call order part of the effective seed — create "
+                "generators inside the functions that use them",
+                value.rng,
+            )

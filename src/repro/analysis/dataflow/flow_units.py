@@ -1,0 +1,388 @@
+"""FLOW002 — unit-dimension mismatches across call boundaries.
+
+The package standardises on canonical units (seconds, bytes — see
+:mod:`repro.units`) internally and converts at presentation boundaries
+(``*_us`` metrics store microseconds).  The classic silent bug is a
+seconds value crossing three calls and landing in a ``*_us`` histogram
+unconverted — off by 1e6, invisible in aggregate.
+
+Sources: the :mod:`repro.units` scale constants (``USEC``, ``MB``, …),
+``to_usec``-style converters, and ``.value`` reads of metric handles
+whose registered name carries a unit suffix.  Transfer: division by a
+time-scale constant converts seconds into that scale's count;
+multiplying a count by its scale converts back to seconds.  Sinks:
+arithmetic/comparisons mixing concrete dimensions, ``observe``/``set``
+on a suffixed metric with the wrong dimension, time-dimensioned values
+passed to telemetry attributes without a unit suffix (or with a
+contradicting one), and double conversions (``to_usec`` of a value
+already in microseconds).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import register
+from .engine import DataflowRule, EmitFn, Site
+from .lattice import (
+    DIM_BYTES,
+    DIM_MS,
+    DIM_NS,
+    DIM_RATIO,
+    DIM_SECONDS,
+    DIM_US,
+    TIME_DIMS,
+    AbstractValue,
+    Fact,
+    TaintStep,
+)
+from .symbols import FunctionInfo
+
+__all__ = ["UnitDimensionRule"]
+
+# Scale constants are *conversion factors*, not measurements; they get
+# their own pseudo-dimensions so the transfer rules can recognise them.
+_SCALE_TIME = {
+    "NSEC": DIM_NS,
+    "USEC": DIM_US,
+    "MSEC": DIM_MS,
+    "SEC": DIM_SECONDS,
+}
+_SCALE_BYTES = {"KB", "MB", "GB", "KIB", "MIB", "GIB"}
+_SCALE_RATE = {"MB_PER_S", "GB_PER_S", "KIOPS", "MIOPS"}
+
+_DIM_RATE = "bytes_per_s"
+
+#: Metric/attribute name suffixes that declare a dimension.
+_SUFFIX_DIMS = {
+    "_us": DIM_US,
+    "_ms": DIM_MS,
+    "_ns": DIM_NS,
+    "_bytes": DIM_BYTES,
+    "_ratio": DIM_RATIO,
+}
+
+#: Telemetry calls whose keyword arguments are user-facing attributes;
+#: time-dimensioned values must carry a unit suffix there.
+_ATTR_SINKS = {
+    "event",
+    "span",
+    "counter_sample",
+    "controller_event",
+    "_event",
+    "_act",
+}
+
+#: Metric-handle factory methods (`registry.histogram("x_us")`).
+_METRIC_FACTORIES = {"histogram", "gauge", "counter"}
+
+
+def _scale_dim(value: AbstractValue) -> str | None:
+    """The time scale a value represents, if it is a scale constant."""
+    unit = value.unit
+    if unit.is_concrete and unit.value is not None and unit.value.startswith("scale:"):
+        return unit.value.split(":", 1)[1]
+    return None
+
+
+def _suffix_dim(name: str) -> str | None:
+    for suffix, dim in _SUFFIX_DIMS.items():
+        if name.endswith(suffix):
+            return dim
+    if name.endswith("_s") or name.endswith("_seconds"):
+        return DIM_SECONDS
+    return None
+
+
+def _measured_dim(value: AbstractValue) -> str | None:
+    """The concrete measurement dimension of a value (scales excluded)."""
+    if _scale_dim(value) is not None:
+        return None
+    if value.unit.is_concrete:
+        return value.unit.value
+    return None
+
+
+@register
+class UnitDimensionRule(DataflowRule):
+    """FLOW002: dimensions must agree at every sink and operator."""
+
+    id = "FLOW002"
+    title = "Unit-dimension mismatch"
+    rationale = (
+        "A seconds value crossing into a *_us metric (or bytes meeting "
+        "microseconds in arithmetic) is off by a silent constant factor; "
+        "dimensions must agree at every sink and every operator."
+    )
+    default_excludes = ("units.py",)
+
+    # -- sources --------------------------------------------------------------
+
+    def name_fact(
+        self, chain: tuple[str, ...], node: ast.AST, site: Site
+    ) -> AbstractValue | None:
+        if not chain:
+            return None
+        tail = chain[-1]
+        line = getattr(node, "lineno", 1)
+        if tail in _SCALE_TIME:
+            return AbstractValue(
+                unit=Fact(
+                    f"scale:{_SCALE_TIME[tail]}",
+                    (TaintStep(site.path, line, f"units.{tail} constant"),),
+                )
+            )
+        if tail in _SCALE_BYTES:
+            return AbstractValue(unit=Fact("scale:bytes"))
+        if tail in _SCALE_RATE:
+            return AbstractValue(unit=Fact("scale:rate"))
+        return None
+
+    def call_result(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        site: Site,
+    ) -> AbstractValue | None:
+        if not chain:
+            if isinstance(call.func, ast.Attribute):
+                chain = (call.func.attr,)
+            else:
+                return None
+        tail = chain[-1]
+        line = getattr(call, "lineno", 1)
+        if tail == "to_usec":
+            return AbstractValue(
+                unit=Fact(
+                    DIM_US,
+                    (TaintStep(site.path, line, "converted to us by to_usec()"),),
+                )
+            )
+        if tail in _METRIC_FACTORIES and call.args:
+            name_node = call.args[0]
+            if isinstance(name_node, ast.Constant) and isinstance(
+                name_node.value, str
+            ):
+                return AbstractValue(metric=name_node.value)
+        return None
+
+    def attribute_result(
+        self, attr: str, base: AbstractValue, node: ast.AST, site: Site
+    ) -> AbstractValue | None:
+        if base.metric is not None and attr == "value":
+            dim = _suffix_dim(base.metric)
+            if dim is not None:
+                return AbstractValue(
+                    unit=Fact(
+                        dim,
+                        (
+                            TaintStep(
+                                site.path,
+                                getattr(node, "lineno", 1),
+                                f"read from metric {base.metric!r} ({dim})",
+                            ),
+                        ),
+                    )
+                )
+        return None
+
+    # -- transfer -------------------------------------------------------------
+
+    def binop_result(
+        self, op: ast.operator, left: AbstractValue, right: AbstractValue
+    ) -> AbstractValue | None:
+        l_scale, r_scale = _scale_dim(left), _scale_dim(right)
+        l_dim, r_dim = _measured_dim(left), _measured_dim(right)
+        if isinstance(op, ast.Div):
+            if r_scale is not None and r_scale in TIME_DIMS:
+                # seconds / USEC -> a microsecond count (conversion).
+                if l_dim in (None, DIM_SECONDS):
+                    return AbstractValue(
+                        unit=Fact(r_scale, left.unit.origin)
+                    )
+                return None
+            if (
+                right.unit.is_concrete
+                and right.unit.value == "scale:bytes"
+                and l_dim == DIM_BYTES
+            ):
+                return AbstractValue(unit=Fact(DIM_RATIO))
+            if l_dim is not None and l_dim == r_dim:
+                return AbstractValue(unit=Fact(DIM_RATIO))
+            if r_dim == DIM_RATIO and l_dim is not None:
+                return AbstractValue(unit=Fact(l_dim, left.unit.origin))
+            if l_dim == DIM_BYTES and r_dim == DIM_SECONDS:
+                return AbstractValue(unit=Fact(_DIM_RATE))
+            return None
+        if isinstance(op, ast.Mult):
+            for scale, other in ((l_scale, right), (r_scale, left)):
+                if scale is None:
+                    continue
+                other_dim = _measured_dim(other)
+                # count * USEC -> seconds (paper-facing idiom), and a
+                # microsecond count times its own scale -> seconds.
+                if scale in TIME_DIMS and other_dim in (None, scale):
+                    return AbstractValue(
+                        unit=Fact(DIM_SECONDS, other.unit.origin)
+                    )
+                if scale == "bytes" and other_dim is None:
+                    return AbstractValue(unit=Fact(DIM_BYTES))
+                if scale == "rate" and other_dim is None:
+                    return AbstractValue(unit=Fact(_DIM_RATE))
+            for dim, other in ((l_dim, right), (r_dim, left)):
+                if dim is not None and _measured_dim(other) == DIM_RATIO:
+                    return AbstractValue(unit=Fact(dim))
+            return None
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if l_dim is not None and l_dim == r_dim:
+                return AbstractValue(unit=left.unit)
+            if l_dim is not None and r_dim is None and r_scale is None:
+                return AbstractValue(unit=left.unit)
+            if r_dim is not None and l_dim is None and l_scale is None:
+                return AbstractValue(unit=right.unit)
+        if isinstance(op, (ast.Mod, ast.FloorDiv)):
+            if l_dim is not None and r_dim is None:
+                return AbstractValue(unit=left.unit)
+        return None
+
+    # -- sinks ----------------------------------------------------------------
+
+    def check_binop(
+        self,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.BinOp,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        l_dim, r_dim = _measured_dim(left), _measured_dim(right)
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if l_dim is not None and r_dim is not None and l_dim != r_dim:
+                emit(
+                    node,
+                    f"arithmetic mixes {l_dim} with {r_dim}; convert to a "
+                    "common dimension first",
+                    left.unit,
+                    right.unit,
+                )
+            return
+        if isinstance(op, ast.Div):
+            r_scale = _scale_dim(right)
+            if r_scale in TIME_DIMS and l_dim in TIME_DIMS and l_dim != DIM_SECONDS:
+                emit(
+                    node,
+                    f"value already in {l_dim} divided by a time-scale "
+                    "constant; double conversion",
+                    left.unit,
+                )
+            return
+        if isinstance(op, ast.Mult):
+            for scale, other, fact in (
+                (_scale_dim(left), r_dim, right.unit),
+                (_scale_dim(right), l_dim, left.unit),
+            ):
+                if (
+                    scale in TIME_DIMS
+                    and other in TIME_DIMS
+                    and other not in (None, scale)
+                ):
+                    emit(
+                        node,
+                        f"value in {other} multiplied by the {scale} "
+                        "scale constant; wrong scale for this dimension",
+                        fact,
+                    )
+
+    def check_compare(
+        self,
+        left: AbstractValue,
+        comparators: list[AbstractValue],
+        node: ast.Compare,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        l_dim = _measured_dim(left)
+        for comparator in comparators:
+            r_dim = _measured_dim(comparator)
+            if l_dim is not None and r_dim is not None and l_dim != r_dim:
+                emit(
+                    node,
+                    f"comparison mixes {l_dim} with {r_dim}; convert to a "
+                    "common dimension first",
+                    left.unit,
+                    comparator.unit,
+                )
+
+    def check_call(
+        self,
+        chain: tuple[str, ...],
+        call: ast.Call,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+        receiver: AbstractValue,
+        resolved: FunctionInfo | None,
+        site: Site,
+        emit: EmitFn,
+    ) -> None:
+        tail = chain[-1] if chain else (
+            call.func.attr if isinstance(call.func, ast.Attribute) else ""
+        )
+        # Double conversion through the named converter.
+        if tail == "to_usec" and args and _measured_dim(args[0]) == DIM_US:
+            emit(
+                call,
+                "to_usec() applied to a value already in microseconds",
+                args[0].unit,
+            )
+        # Metric sinks: observe/set on a handle with a suffixed name.
+        if (
+            receiver.metric is not None
+            and tail in ("observe", "set")
+            and args
+        ):
+            expected = _suffix_dim(receiver.metric)
+            actual = _measured_dim(args[0])
+            if expected is not None and actual is not None and actual != expected:
+                emit(
+                    call,
+                    f"metric {receiver.metric!r} stores {expected} but "
+                    f"receives a {actual} value",
+                    args[0].unit,
+                )
+        # MemoryStats.record_latency takes canonical seconds.
+        if tail == "record_latency" and args:
+            actual = _measured_dim(args[0])
+            if actual in TIME_DIMS and actual != DIM_SECONDS:
+                emit(
+                    call,
+                    f"record_latency() takes canonical seconds but "
+                    f"receives a {actual} value",
+                    args[0].unit,
+                )
+        # Telemetry attribute sinks: unit discipline on keyword names.
+        if tail in _ATTR_SINKS:
+            for name, value in kwargs.items():
+                actual = _measured_dim(value)
+                if actual is None:
+                    continue
+                declared = _suffix_dim(name)
+                if declared is None and actual in TIME_DIMS:
+                    emit(
+                        call,
+                        f"telemetry attribute {name!r} receives a "
+                        f"{actual}-dimensioned value but declares no unit "
+                        "suffix; name it e.g. "
+                        f"{name}_{'us' if actual == DIM_US else actual}",
+                        value.unit,
+                    )
+                elif declared is not None and actual != declared:
+                    emit(
+                        call,
+                        f"telemetry attribute {name!r} declares {declared} "
+                        f"but receives a {actual} value",
+                        value.unit,
+                    )

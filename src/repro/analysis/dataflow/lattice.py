@@ -1,0 +1,224 @@
+"""Fact lattices for the dataflow engine.
+
+Three flat lattices, one per correctness domain the FLOW rules reason
+about:
+
+* **clock domain** — is a timestamp on the wall timeline or the
+  simulated one?  (``wall`` | ``sim``)
+* **unit dimension** — what does a number measure?  (``s`` | ``us`` |
+  ``ms`` | ``ns`` | ``bytes`` | ``events`` | ``ratio`` |
+  ``bytes_per_s`` | ``events_per_s``)
+* **RNG provenance** — was a generator seeded explicitly, derived from
+  a seeded stream, or created unseeded?  (``seeded`` | ``derived`` |
+  ``unseeded``)
+
+Each lattice is *flat*: BOTTOM (nothing known) below every concrete
+value, TOP (conflicting evidence) above.  Joining two different
+concrete values yields TOP — the engine never guesses between
+conflicting facts; rules only fire on *concrete* evidence, so TOP and
+BOTTOM are both silent.
+
+An :class:`AbstractValue` bundles one :class:`Fact` per domain plus
+object-shape tags (``clock_obj`` — the value *is* a clock; ``metric``
+— the value is a metric handle registered under a literal name;
+``tracer_obj``/``span_obj`` — tracer/span handles) and the set of
+callee parameters that flow into the value (the basis of the
+interprocedural summaries in :mod:`repro.analysis.dataflow.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "TOP",
+    "CLOCK_WALL",
+    "CLOCK_SIM",
+    "DIM_SECONDS",
+    "DIM_US",
+    "DIM_MS",
+    "DIM_NS",
+    "DIM_BYTES",
+    "DIM_EVENTS",
+    "DIM_RATIO",
+    "RNG_SEEDED",
+    "RNG_UNSEEDED",
+    "RNG_DERIVED",
+    "TaintStep",
+    "Fact",
+    "AbstractValue",
+    "BOTTOM_VALUE",
+    "concrete_tag",
+    "join_values",
+]
+
+#: The "conflicting evidence" element shared by every flat lattice.
+TOP = "⊤"
+
+# -- clock domain -------------------------------------------------------------
+CLOCK_WALL = "wall"
+CLOCK_SIM = "sim"
+
+# -- unit dimensions ----------------------------------------------------------
+DIM_SECONDS = "s"
+DIM_US = "us"
+DIM_MS = "ms"
+DIM_NS = "ns"
+DIM_BYTES = "bytes"
+DIM_EVENTS = "events"
+DIM_RATIO = "ratio"
+
+#: Dimensions that measure time; mixing any of them with a different
+#: time scale in arithmetic is the classic silent 1e6x bug.
+TIME_DIMS = frozenset({DIM_SECONDS, DIM_US, DIM_MS, DIM_NS})
+
+# -- RNG provenance -----------------------------------------------------------
+RNG_SEEDED = "seeded"
+RNG_UNSEEDED = "unseeded"
+RNG_DERIVED = "derived"
+
+
+@dataclass(frozen=True)
+class TaintStep:
+    """One hop of a fact's journey: where and why it got its value."""
+
+    path: str
+    line: int
+    note: str = ""
+
+
+#: Origin chains are capped so pathological call chains cannot balloon
+#: the abstract state; the first (source) and last steps always survive.
+_MAX_ORIGIN = 8
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One flat-lattice element plus the taint path that produced it.
+
+    ``value`` is ``None`` for BOTTOM, :data:`TOP` for conflict, or a
+    concrete domain constant.  ``origin`` traces the fact source-first.
+    """
+
+    value: str | None = None
+    origin: tuple[TaintStep, ...] = ()
+
+    @property
+    def is_concrete(self) -> bool:
+        """True when the fact carries usable (non-BOTTOM/TOP) evidence."""
+        return self.value is not None and self.value != TOP
+
+    def stepped(self, step: TaintStep, value: str | None = None) -> "Fact":
+        """This fact with one more hop appended to its origin chain.
+
+        ``value`` rewrites the fact's value at the hop (e.g. a seeded
+        stream's ``.spawn()`` child becomes *derived*) while keeping the
+        provenance chain intact.
+        """
+        if not self.is_concrete:
+            return self
+        origin = self.origin + (step,)
+        if len(origin) > _MAX_ORIGIN:
+            origin = origin[:1] + origin[-(_MAX_ORIGIN - 1):]
+        return replace(
+            self, origin=origin, value=self.value if value is None else value
+        )
+
+
+def join_facts(a: Fact, b: Fact) -> Fact:
+    """Least upper bound of two facts (flat lattice join)."""
+    if a.value is None:
+        return b
+    if b.value is None:
+        return a
+    if a.value == b.value:
+        # Keep the shorter origin chain: it is the more direct witness.
+        return a if len(a.origin) <= len(b.origin) else b
+    return Fact(TOP)
+
+
+def _join_tag(a: str | None, b: str | None) -> str | None:
+    """Flat join for object tags: None < concrete < TOP.
+
+    Conflicts must go *up* to TOP, never back to None — a downward join
+    would let the whole-project fixpoint oscillate between the two
+    conflicting tags forever.
+    """
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    return TOP
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """The engine's per-expression abstract state (product of lattices)."""
+
+    clock: Fact = field(default_factory=Fact)
+    unit: Fact = field(default_factory=Fact)
+    rng: Fact = field(default_factory=Fact)
+    #: The value *is* a clock object driving the given timeline.
+    clock_obj: str | None = None
+    #: The value is a metric handle registered under this literal name.
+    metric: str | None = None
+    #: The value is a tracer / an un-entered span context manager.
+    tracer_obj: bool = False
+    span_obj: bool = False
+    #: Callee parameter indices whose facts flow into this value
+    #: (meaningful only while summarising a function body).
+    from_params: frozenset[int] = frozenset()
+
+    @property
+    def is_bottom(self) -> bool:
+        """True when the value is the lattice bottom in every domain.
+
+        TOP facts are *not* bottom: "conflicting evidence" is
+        information, and must survive joins (collapsing TOP back to a
+        concrete operand would make the fixpoint oscillate).
+        """
+        return (
+            self.clock.value is None
+            and self.unit.value is None
+            and self.rng.value is None
+            and self.clock_obj is None
+            and self.metric is None
+            and not self.tracer_obj
+            and not self.span_obj
+            and not self.from_params
+        )
+
+    def stepped(self, step: TaintStep) -> "AbstractValue":
+        """Append ``step`` to every concrete fact's origin chain."""
+        return replace(
+            self,
+            clock=self.clock.stepped(step),
+            unit=self.unit.stepped(step),
+            rng=self.rng.stepped(step),
+        )
+
+
+def concrete_tag(tag: str | None) -> str | None:
+    """The tag when it carries usable evidence, else None (BOTTOM/TOP)."""
+    return tag if tag is not None and tag != TOP else None
+
+
+BOTTOM_VALUE = AbstractValue()
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Pointwise join of two abstract values."""
+    if a is BOTTOM_VALUE or a.is_bottom:
+        return b
+    if b is BOTTOM_VALUE or b.is_bottom:
+        return a
+    return AbstractValue(
+        clock=join_facts(a.clock, b.clock),
+        unit=join_facts(a.unit, b.unit),
+        rng=join_facts(a.rng, b.rng),
+        clock_obj=_join_tag(a.clock_obj, b.clock_obj),
+        metric=_join_tag(a.metric, b.metric),
+        tracer_obj=a.tracer_obj or b.tracer_obj,
+        span_obj=a.span_obj and b.span_obj,
+        from_params=a.from_params | b.from_params,
+    )

@@ -1,0 +1,167 @@
+"""Module-level symbol table for the dataflow engine.
+
+Builds a :class:`ProjectIndex` over every file handed to the dataflow
+pass: one :class:`ModuleInfo` per file (dotted module name derived from
+the path), one :class:`FunctionInfo` per function/method with its
+parameters, annotations, and import-alias table.  The index is what the
+call-graph builder and the interprocedural engine resolve names
+against.
+
+Module naming: the dotted name is the path relative to the innermost
+``src`` directory (``src/repro/ops/scenario.py`` → ``repro.ops.scenario``);
+without a ``src`` component the path's own parts are used, so fixture
+trees in tests still index deterministically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from ..core import collect_aliases, dotted_name
+
+__all__ = ["FunctionInfo", "ModuleInfo", "ProjectIndex", "module_name_for"]
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path (see module docstring)."""
+    posix = PurePosixPath(path)
+    parts = list(posix.parts)
+    if posix.suffix == ".py":
+        parts[-1] = posix.stem
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    parts = [part for part in parts if part not in ("/", "")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<module>"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method and everything the engine needs about it."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    annotations: dict[str, str] = field(default_factory=dict)
+    class_name: str | None = None
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_method(self) -> bool:
+        """Whether this function is defined inside a class."""
+        return self.class_name is not None
+
+    @property
+    def name(self) -> str:
+        """The bare (unqualified) function name."""
+        return self.node.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _annotation_text(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    chain = dotted_name(node)
+    if chain:
+        return ".".join(chain)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _function_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[tuple[str, ...], dict[str, str]]:
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args]
+    params = tuple(arg.arg for arg in ordered)
+    annotations: dict[str, str] = {}
+    for arg in (*ordered, *args.kwonlyargs):
+        text = _annotation_text(arg.annotation)
+        if text is not None:
+            annotations[arg.arg] = text
+    return params, annotations
+
+
+class ProjectIndex:
+    """Project-wide lookup tables over every indexed module.
+
+    ``functions`` maps fully qualified names to :class:`FunctionInfo`;
+    ``by_name`` maps bare function names to the qualified names sharing
+    them (the engine resolves duck-typed attribute calls through it only
+    when the bare name is project-unique).
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.by_name: dict[str, list[str]] = {}
+
+    def add_module(self, path: str, tree: ast.Module) -> ModuleInfo:
+        """Index one parsed module (replacing any previous same-name one)."""
+        name = module_name_for(path)
+        module = ModuleInfo(
+            name=name, path=path, tree=tree, aliases=collect_aliases(tree)
+        )
+        self.modules[name] = module
+        self._index_functions(module, tree.body, prefix=name, class_name=None)
+        return module
+
+    def _index_functions(
+        self,
+        module: ModuleInfo,
+        body: list[ast.stmt],
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                params, annotations = _function_params(node)
+                info = FunctionInfo(
+                    qualname=qualname,
+                    module=module.name,
+                    path=module.path,
+                    node=node,
+                    params=params,
+                    annotations=annotations,
+                    class_name=class_name,
+                    aliases=module.aliases,
+                )
+                module.functions[qualname] = info
+                self.functions[qualname] = info
+                self.by_name.setdefault(node.name, []).append(qualname)
+                # Nested defs are indexed too (closures appear in the
+                # serving scenario); their callers resolve lexically.
+                self._index_functions(
+                    module, node.body, prefix=qualname, class_name=class_name
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._index_functions(
+                    module,
+                    node.body,
+                    prefix=f"{prefix}.{node.name}",
+                    class_name=node.name,
+                )
+
+    def unique_by_name(self, name: str) -> FunctionInfo | None:
+        """The single project function with this bare name, if unique."""
+        qualnames = self.by_name.get(name, [])
+        if len(qualnames) == 1:
+            return self.functions[qualnames[0]]
+        return None

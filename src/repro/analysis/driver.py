@@ -13,11 +13,14 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .config import LintConfig, load_config
 from .core import AnalysisError, FileContext, Finding, Rule, all_rules, collect_aliases
 from .suppress import parse_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .dataflow.engine import DataflowStats
 
 __all__ = ["LintResult", "lint_paths", "lint_source"]
 
@@ -28,6 +31,7 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    dataflow_stats: "DataflowStats | None" = None
 
     @property
     def unsuppressed(self) -> list[Finding]:
@@ -117,25 +121,104 @@ def lint_paths(
     paths: Sequence[Path | str],
     config: LintConfig | None = None,
     rules: Sequence[Rule] | None = None,
+    dataflow: bool = False,
+    use_cache: bool = True,
+    report_only: Sequence[Path | str] | None = None,
 ) -> LintResult:
     """Lint files and directory trees; the CLI's workhorse.
 
     ``config`` defaults to the ``[tool.simlint]`` table of the nearest
-    ``pyproject.toml`` (searched upward from the first path).
+    ``pyproject.toml`` (searched upward from the first path).  With
+    ``dataflow`` the interprocedural engine also runs over the whole
+    tree (cached by content fingerprint unless ``use_cache`` is off).
+    ``report_only`` restricts *reported* findings to the given files —
+    the ``--changed`` mode; the analysis itself still sees everything.
     """
     file_list = list(_iter_python_files(paths))
     if config is None:
         anchor = Path(paths[0]) if paths else Path.cwd()
         config = load_config(anchor)
     rule_list = list(rules) if rules is not None else all_rules()
+    per_file = [
+        rule for rule in rule_list if not getattr(rule, "is_dataflow", False)
+    ]
     result = LintResult()
+    sources: dict[str, str] = {}
     for path in file_list:
         try:
             source = path.read_text(encoding="utf-8")
         except UnicodeDecodeError:
             continue
         result.files_scanned += 1
+        sources[path.as_posix()] = source
         result.findings.extend(
-            _check_file(path.as_posix(), source, rule_list, config)
+            _check_file(path.as_posix(), source, per_file, config)
         )
+    if dataflow:
+        flow_findings, result.dataflow_stats = _run_dataflow(
+            sources, rule_list, config, use_cache
+        )
+        result.findings.extend(flow_findings)
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if report_only is not None:
+        # Findings carry paths in whatever form the caller passed
+        # (absolute or cwd-relative); changed-file lists are repo-root
+        # relative.  Resolve both sides so the forms can't disagree.
+        keep = {Path(p).resolve().as_posix() for p in report_only}
+        result.findings = [
+            f
+            for f in result.findings
+            if Path(f.path).resolve().as_posix() in keep
+        ]
     return result
+
+
+def _run_dataflow(
+    sources: dict[str, str],
+    rule_list: Sequence[Rule],
+    config: LintConfig,
+    use_cache: bool,
+) -> "tuple[list[Finding], DataflowStats]":
+    """Run (or replay) the interprocedural engine over ``sources``."""
+    from .dataflow.cache import DataflowCache, tree_fingerprint
+    from .dataflow.engine import DataflowAnalysis, DataflowRule, DataflowStats
+    from .dataflow.symbols import ProjectIndex
+
+    flow_rules = [r for r in rule_list if isinstance(r, DataflowRule)]
+    fingerprint = tree_fingerprint(
+        sources,
+        tuple(rule.id for rule in flow_rules),
+        config.digest_parts(),
+    )
+    cache = DataflowCache(Path(config.dataflow_cache_dir)) if use_cache else None
+    findings: list[Finding] | None = None
+    stats = DataflowStats()
+    if cache is not None:
+        findings = cache.load(fingerprint)
+    if findings is None:
+        index = ProjectIndex()
+        for path, source in sources.items():
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue  # the per-file pass already reported PARSE
+            index.add_module(path, tree)
+        analysis = DataflowAnalysis(index, flow_rules, config)
+        findings = analysis.run()
+        stats = analysis.stats
+        if cache is not None:
+            cache.store(fingerprint, findings)
+    if cache is not None:
+        stats.cache = cache.stats
+    # Inline directives silence dataflow findings exactly like per-file
+    # ones; suppressions are per sink file.
+    suppressions = {
+        path: parse_suppressions(source) for path, source in sources.items()
+    }
+    out = []
+    for finding in findings:
+        cover = suppressions.get(finding.path)
+        if cover is not None and cover.covers(finding.rule, finding.line):
+            finding = finding.suppress()
+        out.append(finding)
+    return out, stats

@@ -33,6 +33,9 @@ def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
         lines.append(
             f"{finding.location()}: {finding.rule} {finding.message}{tag}"
         )
+        for step in finding.related:
+            note = f" ({step.note})" if step.note else ""
+            lines.append(f"    via {step.path}:{step.line}{note}")
     active = len(result.unsuppressed)
     summary = (
         f"{active} finding{'s' if active != 1 else ''} "
@@ -60,6 +63,10 @@ def render_json(result: LintResult) -> str:
                 "line": finding.line,
                 "col": finding.col,
                 "suppressed": finding.suppressed,
+                "related": [
+                    {"path": step.path, "line": step.line, "note": step.note}
+                    for step in finding.related
+                ],
             }
             for finding in result.findings
         ],
@@ -97,6 +104,17 @@ def render_sarif(result: LintResult) -> str:
                 }
             ],
         }
+        if finding.related:
+            entry["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": step.path},
+                        "region": {"startLine": step.line},
+                    },
+                    "message": {"text": step.note or "related location"},
+                }
+                for step in finding.related
+            ]
         if finding.suppressed:
             entry["suppressions"] = [{"kind": "inSource"}]
         results.append(entry)

@@ -18,6 +18,16 @@ from . import (  # noqa: F401
     units_rule,
 )
 
+# The interprocedural FLOW rules live in repro.analysis.dataflow but
+# register in the same registry (their per-file ``check`` is a no-op;
+# they only produce findings under ``repro lint --dataflow``).
+from ..dataflow import (  # noqa: F401
+    flow_clock,
+    flow_seed,
+    flow_span,
+    flow_units,
+)
+
 __all__ = [
     "determinism",
     "dtypes",
@@ -26,4 +36,8 @@ __all__ = [
     "obs_rule",
     "stats_rule",
     "units_rule",
+    "flow_clock",
+    "flow_seed",
+    "flow_span",
+    "flow_units",
 ]

@@ -32,18 +32,21 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from ..analysis.config import LintConfig
+from ..analysis.driver import lint_paths
 from ..core.evalcache import clear_evaluation_cache
 from ..core.experiment import default_source, run_algorithm
 from ..core.suite import run_evaluation
 from ..core.sweep import alignment_sweep, cxl_latency_sweep
 from ..errors import BenchError
-from ..graph.datasets import load_dataset
+from ..graph.datasets import CSRGraph, load_dataset
 from ..memsim.cache import IdealCache, LRUCache
 from ..memsim.raf import direct_access_amplification, read_amplification
 from ..sim.des import DESConfig, simulate_step, simulate_trace
 from ..traversal.bfs import bfs
 from ..traversal.cc import connected_components
 from ..traversal.sssp import sssp_bellman_ford
+from ..traversal.trace import AccessTrace
 from ..units import MB, MB_PER_S, MIOPS, USEC
 from .schema import KNOWN_FAMILIES, array_digest
 
@@ -79,7 +82,7 @@ class Prepared:
 
 
 @lru_cache(maxsize=4)
-def _dataset(name: str, scale: int, seed: int):
+def _dataset(name: str, scale: int, seed: int) -> CSRGraph:
     """Memoized dataset load: scenario setup shares graphs within a run."""
     return load_dataset(name, scale=scale, seed=seed)
 
@@ -176,7 +179,7 @@ def _prep_des_trace(quick: bool) -> Prepared:
 # --------------------------------------------------------------------------
 
 
-def _traversal_graph(quick: bool):
+def _traversal_graph(quick: bool) -> CSRGraph:
     return _dataset("urand", 14 if quick else 17, 1)
 
 
@@ -271,7 +274,7 @@ def graph_scale(graph) -> int:
 # --------------------------------------------------------------------------
 
 
-def _memsim_trace(quick: bool):
+def _memsim_trace(quick: bool) -> AccessTrace:
     graph = _dataset("urand", 13 if quick else 16, 1)
     return run_algorithm(graph, "bfs")
 
@@ -408,6 +411,106 @@ def _prep_trajectory_sweeps(quick: bool) -> Prepared:
     )
 
 
+# --------------------------------------------------------------------------
+# lint family
+# --------------------------------------------------------------------------
+
+#: Functions emitted per synthetic fixture module (see the template).
+_LINT_FUNCS_PER_MODULE = 4
+
+
+def _lint_fixture_module(index: int) -> str:
+    """One synthetic module of the lint-benchmark fixture tree.
+
+    Modules chain imports (``modN`` calls ``modN-1``) so the engine has
+    real interprocedural work, and every fourth module plants an
+    unseeded generator so the finding count is known and non-zero.
+    """
+    lines = ["import time", "from numpy.random import default_rng"]
+    if index > 0:
+        lines.append(f"from pkg.mod{index - 1} import stamp")
+        stamp_body = "    return stamp() + time.perf_counter()"
+    else:
+        stamp_body = "    return time.perf_counter()"
+    seed_expr = "" if index % 4 == 0 else f"{index}"
+    lines += [
+        "",
+        "def stamp() -> float:",
+        stamp_body,
+        "",
+        "def elapsed(t0):",
+        "    return stamp() - t0",
+        "",
+        "def make_stream():",
+        f"    return default_rng({seed_expr})",
+        "",
+        "def use(items, rng):",
+        "    return rng.permutation(items)",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _lint_fixture_tree(modules: int) -> "Path":
+    """Write the synthetic project under a tempdir; returns its src root."""
+    import tempfile
+    from pathlib import Path
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-lint-")) / "src"
+    pkg = root / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    for index in range(modules):
+        (pkg / f"mod{index}.py").write_text(
+            _lint_fixture_module(index), encoding="utf-8"
+        )
+    return root
+
+
+def _lint_verify(result) -> dict[str, Any]:
+    stats = result.dataflow_stats
+    return {
+        "findings": len(result.unsuppressed),
+        "functions_analyzed": stats.functions_analyzed,
+        "modules": stats.modules,
+    }
+
+
+def _prep_lint_cold(quick: bool) -> Prepared:
+    modules = 24 if quick else 64
+    root = _lint_fixture_tree(modules)
+    config = LintConfig(dataflow_cache_dir=str(root.parent / ".simlint-cache"))
+    return Prepared(
+        name="lint_dataflow_cold",
+        family="lint",
+        params={"modules": modules, "cache": "off"},
+        run=lambda: _lint_verify(
+            lint_paths([root], config=config, dataflow=True, use_cache=False)
+        ),
+        work_unit="functions/s",
+        work_amount=float(modules * _LINT_FUNCS_PER_MODULE),
+    )
+
+
+def _prep_lint_warm(quick: bool) -> Prepared:
+    modules = 24 if quick else 64
+    root = _lint_fixture_tree(modules)
+    config = LintConfig(dataflow_cache_dir=str(root.parent / ".simlint-cache"))
+    # Prime the fingerprint cache (untimed); timed runs are pure replays
+    # and must analyse zero functions.
+    lint_paths([root], config=config, dataflow=True)
+    return Prepared(
+        name="lint_dataflow_warm",
+        family="lint",
+        params={"modules": modules, "cache": "warm"},
+        run=lambda: _lint_verify(
+            lint_paths([root], config=config, dataflow=True)
+        ),
+        work_unit="functions/s",
+        work_amount=float(modules * _LINT_FUNCS_PER_MODULE),
+    )
+
+
 _FAMILIES: dict[str, list[Callable[[bool], Prepared]]] = {
     "des": [_prep_des_step_mixed, _prep_des_step_uniform, _prep_des_trace],
     "traversal": [_prep_bfs, _prep_sssp, _prep_cc],
@@ -418,6 +521,7 @@ _FAMILIES: dict[str, list[Callable[[bool], Prepared]]] = {
         _prep_direct_curve,
     ],
     "sweep": [_prep_evaluation_matrix, _prep_trajectory_sweeps],
+    "lint": [_prep_lint_cold, _prep_lint_warm],
 }
 
 assert set(_FAMILIES) == set(KNOWN_FAMILIES)

@@ -387,6 +387,7 @@ class TestReporters:
             "line": 2,
             "col": 11,
             "suppressed": False,
+            "related": [],
         }
         assert suppressed["line"] == 4 and suppressed["suppressed"] is True
 
@@ -398,7 +399,7 @@ class TestReporters:
         assert driver["name"] == "simlint"
         assert {r["id"] for r in driver["rules"]} == {
             "DET001", "DTYPE001", "ERR001", "FLOAT001", "OBS001", "STAT001",
-            "UNIT001",
+            "UNIT001", "FLOW001", "FLOW002", "FLOW003", "FLOW004",
         }
         active, suppressed = run["results"]
         assert active["ruleId"] == "FLOAT001"
@@ -413,10 +414,10 @@ class TestReporters:
 
 
 class TestFramework:
-    def test_registry_has_all_seven_rules(self):
+    def test_registry_has_all_eleven_rules(self):
         assert {rule.id for rule in all_rules()} == {
             "DET001", "DTYPE001", "ERR001", "FLOAT001", "OBS001", "STAT001",
-            "UNIT001",
+            "UNIT001", "FLOW001", "FLOW002", "FLOW003", "FLOW004",
         }
         for rule in all_rules():
             assert rule.title and rule.rationale

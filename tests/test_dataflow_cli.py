@@ -1,0 +1,237 @@
+"""Cache, ratchet, reporter, and CLI-flag coverage for simlint v2."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import Finding
+from repro.analysis.dataflow.baseline import RatchetBaseline, finding_fingerprint
+from repro.analysis.driver import lint_paths
+from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.cli import main
+
+
+_BUGGY = (
+    "from numpy.random import default_rng\n"
+    "def make():\n"
+    "    return default_rng()\n"
+)
+
+
+def _tree(tmp_path, **files):
+    root = tmp_path / "proj" / "src"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return root
+
+
+def _config(tmp_path) -> LintConfig:
+    return LintConfig(
+        dataflow_cache_dir=str(tmp_path / "cache"),
+        dataflow_baseline=str(tmp_path / "ratchet.json"),
+    )
+
+
+class TestCache:
+    def test_warm_run_analyzes_zero_functions(self, tmp_path):
+        """The acceptance criterion: a warm re-lint is a pure replay."""
+        root = _tree(tmp_path, **{"pkg/rand.py": _BUGGY})
+        config = _config(tmp_path)
+        cold = lint_paths([root], config=config, dataflow=True)
+        assert cold.dataflow_stats.functions_analyzed > 0
+        assert cold.dataflow_stats.cache == {"hits": 0, "misses": 1}
+
+        warm = lint_paths([root], config=config, dataflow=True)
+        assert warm.dataflow_stats.functions_analyzed == 0
+        assert warm.dataflow_stats.cache["hits"] >= 1
+        # The replayed findings are byte-identical to the cold run's.
+        assert [
+            (f.rule, f.path, f.line, f.message) for f in warm.findings
+        ] == [(f.rule, f.path, f.line, f.message) for f in cold.findings]
+
+    def test_replayed_findings_keep_taint_paths(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            **{
+                "pkg/consume.py": (
+                    "def shuffle(items, rng):\n"
+                    "    return rng.permutation(items)\n"
+                ),
+                "pkg/drive.py": (
+                    "from numpy.random import default_rng\n"
+                    "from pkg.consume import shuffle\n"
+                    "def go(items):\n"
+                    "    stream = default_rng()\n"
+                    "    return shuffle(items, stream)\n"
+                ),
+            },
+        )
+        config = _config(tmp_path)
+        cold = lint_paths([root], config=config, dataflow=True)
+        warm = lint_paths([root], config=config, dataflow=True)
+        cold_related = [f.related for f in cold.findings if f.related]
+        warm_related = [f.related for f in warm.findings if f.related]
+        assert cold_related and warm_related == cold_related
+
+    def test_edit_invalidates_the_cache(self, tmp_path):
+        root = _tree(tmp_path, **{"pkg/rand.py": _BUGGY})
+        config = _config(tmp_path)
+        lint_paths([root], config=config, dataflow=True)
+        (root / "pkg" / "rand.py").write_text(
+            _BUGGY.replace("default_rng()", "default_rng(42)"),
+            encoding="utf-8",
+        )
+        rerun = lint_paths([root], config=config, dataflow=True)
+        assert rerun.dataflow_stats.functions_analyzed > 0
+        assert not [f for f in rerun.findings if f.rule == "FLOW003"]
+
+    def test_config_change_invalidates_the_cache(self, tmp_path):
+        root = _tree(tmp_path, **{"pkg/rand.py": _BUGGY})
+        config = _config(tmp_path)
+        lint_paths([root], config=config, dataflow=True)
+        import dataclasses
+
+        disabled = dataclasses.replace(config, disable=("FLOW003",))
+        rerun = lint_paths([root], config=disabled, dataflow=True)
+        assert rerun.dataflow_stats.cache["misses"] >= 1
+        assert "FLOW003" not in {f.rule for f in rerun.findings}
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        root = _tree(tmp_path, **{"pkg/rand.py": _BUGGY})
+        config = _config(tmp_path)
+        result = lint_paths([root], config=config, dataflow=True, use_cache=False)
+        assert result.dataflow_stats.functions_analyzed > 0
+        assert not (tmp_path / "cache").exists()
+
+
+class TestRatchet:
+    def test_fingerprint_survives_line_drift(self):
+        a = Finding(rule="FLOW003", message="m", path="p.py", line=3, col=0)
+        b = Finding(rule="FLOW003", message="m", path="p.py", line=97, col=4)
+        assert finding_fingerprint(a) == finding_fingerprint(b)
+        c = Finding(rule="FLOW002", message="m", path="p.py", line=3, col=0)
+        assert finding_fingerprint(a) != finding_fingerprint(c)
+
+    def test_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "ratchet.json"
+        finding = Finding(rule="FLOW003", message="m", path="p.py", line=3, col=0)
+        baseline = RatchetBaseline.load(path)
+        assert baseline.new_findings([finding]) == [finding]
+        baseline.update([finding])
+        reloaded = RatchetBaseline.load(path)
+        assert reloaded.new_findings([finding]) == []
+        other = Finding(rule="FLOW001", message="x", path="q.py", line=1, col=0)
+        assert reloaded.new_findings([other]) == [other]
+
+    def test_cli_ratchet_accepts_then_blocks_new(self, tmp_path, monkeypatch, capsys):
+        root = _tree(tmp_path, **{"pkg/rand.py": _BUGGY})
+        monkeypatch.chdir(tmp_path)
+        argv = [str(root), "--dataflow", "--no-cache"]
+        # Baseline the pre-existing finding: exit goes 1 -> 0.
+        assert main(["lint", *argv]) == 1
+        assert main(["lint", *argv, "--update-ratchet"]) == 0
+        assert main(["lint", *argv, "--check-ratchet"]) == 0
+        out = capsys.readouterr().out
+        assert "ratchet passed" in out
+        # A new FLOW finding fails the ratchet again.
+        (root / "pkg" / "more.py").write_text(_BUGGY, encoding="utf-8")
+        assert main(["lint", *argv, "--check-ratchet"]) == 1
+        assert "RATCHET FAILED" in capsys.readouterr().out
+
+
+class TestReporters:
+    @pytest.fixture()
+    def result(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            **{
+                "pkg/consume.py": (
+                    "def shuffle(items, rng):\n"
+                    "    return rng.permutation(items)\n"
+                ),
+                "pkg/drive.py": (
+                    "from numpy.random import default_rng\n"
+                    "from pkg.consume import shuffle\n"
+                    "def go(items):\n"
+                    "    stream = default_rng()\n"
+                    "    return shuffle(items, stream)\n"
+                ),
+            },
+        )
+        return lint_paths(
+            [root], config=LintConfig(), dataflow=True, use_cache=False
+        )
+
+    def test_text_report_shows_taint_path(self, result):
+        text = render_text(result)
+        assert "FLOW003" in text
+        assert "    via " in text
+        assert "created without a seed" in text
+
+    def test_json_report_includes_related(self, result):
+        payload = json.loads(render_json(result))
+        flow = [f for f in payload["findings"] if f["rule"] == "FLOW003"]
+        assert flow
+        boundary = [f for f in flow if f["related"]]
+        assert boundary
+        step = boundary[0]["related"][0]
+        assert set(step) == {"path", "line", "note"}
+
+    def test_sarif_golden_shape(self, result):
+        log = json.loads(render_sarif(result))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"FLOW001", "FLOW002", "FLOW003", "FLOW004"} <= rule_ids
+        results = run["results"]
+        assert results, "SARIF must carry the findings"
+        with_related = [r for r in results if "relatedLocations" in r]
+        assert with_related, "taint paths must surface as relatedLocations"
+        related = with_related[0]["relatedLocations"][0]
+        phys = related["physicalLocation"]
+        assert phys["artifactLocation"]["uri"].endswith(".py")
+        assert isinstance(phys["region"]["startLine"], int)
+        assert related["message"]["text"]
+
+
+class TestChangedMode:
+    def test_changed_reports_only_touched_files(self, tmp_path, monkeypatch, capsys):
+        root = _tree(
+            tmp_path,
+            **{"pkg/clean.py": "def ok():\n    return 1\n"},
+        )
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-qm", "seed"],
+            check=True,
+        )
+        # A new (uncommitted) buggy file is the only changed one.
+        (root / "pkg" / "fresh.py").write_text(_BUGGY, encoding="utf-8")
+        code = main(["lint", str(root), "--dataflow", "--no-cache", "--changed"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fresh.py" in out
+        assert "clean.py" not in out
+
+    def test_changed_outside_git_falls_back_to_full_report(
+        self, tmp_path, monkeypatch
+    ):
+        root = _tree(tmp_path, **{"pkg/rand.py": _BUGGY})
+        monkeypatch.chdir(tmp_path)
+        code = main(["lint", str(root), "--dataflow", "--no-cache", "--changed"])
+        assert code == 1  # full report still surfaces the finding
+
+    def test_changed_python_files_empty_outside_git(self, tmp_path, monkeypatch):
+        from repro.analysis.changed import changed_python_files
+
+        monkeypatch.chdir(tmp_path)
+        assert changed_python_files() == []

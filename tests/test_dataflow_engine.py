@@ -1,0 +1,408 @@
+"""Unit tests for the dataflow engine internals.
+
+Covers the lattice algebra (join monotonicity — the property whose
+violation makes the whole-project fixpoint oscillate), CFG construction,
+call-graph resolution, and the interprocedural summary machinery, all
+on small in-memory fixture trees.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.dataflow import (
+    BOTTOM_VALUE,
+    TOP,
+    AbstractValue,
+    DataflowAnalysis,
+    Fact,
+    ProjectIndex,
+    TaintStep,
+    build_call_graph,
+    build_cfg,
+    join_facts,
+    join_values,
+    module_name_for,
+    resolve_call,
+)
+from repro.analysis.dataflow.engine import DataflowRule
+from repro.analysis.core import all_rules
+
+
+def _index(**modules: str) -> ProjectIndex:
+    index = ProjectIndex()
+    for name, source in modules.items():
+        path = f"src/{name.replace('.', '/')}.py"
+        index.add_module(path, ast.parse(source))
+    return index
+
+
+def _flow_rules() -> list[DataflowRule]:
+    return [r for r in all_rules() if isinstance(r, DataflowRule)]
+
+
+def _analysis(index: ProjectIndex) -> DataflowAnalysis:
+    # No excludes: fixture paths should always be in scope.
+    return DataflowAnalysis(index, _flow_rules(), LintConfig())
+
+
+class TestLattice:
+    def test_flat_join(self):
+        a = Fact("s")
+        b = Fact("us")
+        assert join_facts(a, a).value == "s"
+        assert join_facts(a, b).value == TOP
+        assert join_facts(Fact(None), a).value == "s"
+        assert join_facts(a, Fact(None)).value == "s"
+
+    def test_join_keeps_shorter_origin(self):
+        short = Fact("s", (TaintStep("a.py", 1),))
+        long = Fact("s", (TaintStep("a.py", 1), TaintStep("b.py", 2)))
+        assert join_facts(short, long).origin == short.origin
+        assert join_facts(long, short).origin == short.origin
+
+    def test_top_is_not_bottom(self):
+        """TOP facts must survive joins — the oscillation regression."""
+        top_value = AbstractValue(unit=Fact(TOP))
+        concrete = AbstractValue(unit=Fact("s"))
+        assert not top_value.is_bottom
+        assert join_values(top_value, concrete).unit.value == TOP
+        assert join_values(concrete, top_value).unit.value == TOP
+
+    def test_conflicting_tags_go_up_not_down(self):
+        a = AbstractValue(metric="x_us")
+        b = AbstractValue(metric="y_bytes")
+        joined = join_values(a, b)
+        assert joined.metric == TOP
+        # Joining the conflict with either side again must stay TOP.
+        assert join_values(joined, a).metric == TOP
+
+    def test_join_is_monotone_over_param_sets(self):
+        a = AbstractValue(from_params=frozenset({0}))
+        b = AbstractValue(from_params=frozenset({2}))
+        assert join_values(a, b).from_params == frozenset({0, 2})
+
+    def test_origin_chain_is_capped(self):
+        fact = Fact("s", (TaintStep("src.py", 1, "origin"),))
+        for i in range(20):
+            fact = fact.stepped(TaintStep("hop.py", i))
+        assert len(fact.origin) <= 8
+        assert fact.origin[0].note == "origin"  # the source survives
+        assert fact.origin[-1].line == 19  # so does the last hop
+
+    def test_bottom_join_identity(self):
+        value = AbstractValue(clock=Fact("wall"))
+        assert join_values(BOTTOM_VALUE, value) is value
+        assert join_values(value, BOTTOM_VALUE) is value
+
+
+class TestModuleNaming:
+    @pytest.mark.parametrize(
+        ("path", "expected"),
+        [
+            ("src/repro/ops/scenario.py", "repro.ops.scenario"),
+            ("src/repro/__init__.py", "repro"),
+            ("lib/thing.py", "lib.thing"),
+            ("a/src/b/src/c/mod.py", "c.mod"),
+        ],
+    )
+    def test_module_name_for(self, path, expected):
+        assert module_name_for(path) == expected
+
+
+class TestCFG:
+    def _cfg_for(self, source: str):
+        node = ast.parse(source).body[0]
+        return build_cfg(node)
+
+    def test_straight_line_is_one_block(self):
+        cfg = self._cfg_for("def f():\n    a = 1\n    b = 2\n    return b\n")
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.stmts) == 3
+        assert cfg.exit in entry.succs
+
+    def test_if_branches_rejoin(self):
+        cfg = self._cfg_for(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.succs) == 2  # then / else heads
+        preds = cfg.preds()
+        # The join block (holding `return a`) has both branch tails.
+        join_blocks = [
+            b for b in cfg.blocks.values()
+            if b.stmts and isinstance(b.stmts[0], ast.Return)
+        ]
+        assert len(join_blocks) == 1
+        assert len(preds[join_blocks[0].id]) == 2
+
+    def test_while_loops_back(self):
+        cfg = self._cfg_for(
+            "def f(x):\n"
+            "    while x:\n"
+            "        x = x - 1\n"
+            "    return x\n"
+        )
+        header = next(
+            b for b in cfg.blocks.values()
+            if b.stmts and isinstance(b.stmts[0], ast.While)
+        )
+        body = next(
+            b for b in cfg.blocks.values()
+            if b.stmts and isinstance(b.stmts[0], ast.Assign)
+        )
+        assert header.id in body.succs  # back edge
+        assert len(header.succs) == 2  # body + after
+
+    def test_headers_are_recorded_once(self):
+        """Compound statements are header-only: no double transfer."""
+        cfg = self._cfg_for(
+            "def f(x):\n"
+            "    if x:\n"
+            "        y = 1\n"
+            "    return x\n"
+        )
+        all_stmts = [s for b in cfg.blocks.values() for s in b.stmts]
+        assert len([s for s in all_stmts if isinstance(s, ast.If)]) == 1
+        assert len([s for s in all_stmts if isinstance(s, ast.Assign)]) == 1
+
+    def test_return_ends_the_block(self):
+        cfg = self._cfg_for(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        returns = [
+            b for b in cfg.blocks.values()
+            if b.stmts and isinstance(b.stmts[-1], ast.Return)
+        ]
+        assert len(returns) == 2
+        for block in returns:
+            assert cfg.exit in block.succs
+
+    def test_try_handlers_are_reachable(self):
+        cfg = self._cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"
+            "    except ValueError:\n"
+            "        a = None\n"
+            "    return a\n"
+        )
+        handler_heads = [
+            b for b in cfg.blocks.values()
+            if b.stmts
+            and isinstance(b.stmts[0], ast.Assign)
+            and isinstance(b.stmts[0].value, ast.Constant)
+        ]
+        assert handler_heads, "handler body must get a block"
+        preds = cfg.preds()
+        assert preds[handler_heads[0].id], "handler must be reachable"
+
+
+class TestCallGraph:
+    def test_module_function_resolution(self):
+        index = _index(
+            mod=(
+                "def helper():\n    return 1\n"
+                "def caller():\n    return helper()\n"
+            )
+        )
+        graph = build_call_graph(index)
+        assert graph.callees("mod.caller") == {"mod.helper"}
+        assert graph.callers_of("mod.helper") == {"mod.caller"}
+
+    def test_cross_module_import_resolution(self):
+        index = _index(
+            **{
+                "pkg.util": "def convert(x):\n    return x\n",
+                "pkg.main": (
+                    "from pkg.util import convert\n"
+                    "def go():\n    return convert(3)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(index)
+        assert graph.callees("pkg.main.go") == {"pkg.util.convert"}
+
+    def test_self_method_resolution(self):
+        index = _index(
+            mod=(
+                "class Thing:\n"
+                "    def a(self):\n        return self.b()\n"
+                "    def b(self):\n        return 1\n"
+            )
+        )
+        graph = build_call_graph(index)
+        assert graph.callees("mod.Thing.a") == {"mod.Thing.b"}
+
+    def test_unique_method_duck_typing(self):
+        index = _index(
+            **{
+                "pkg.a": (
+                    "class Scenario:\n"
+                    "    def windowed_p99(self):\n        return 0.0\n"
+                ),
+                "pkg.b": (
+                    "def use(scenario):\n"
+                    "    return scenario.windowed_p99()\n"
+                ),
+            }
+        )
+        graph = build_call_graph(index)
+        assert graph.callees("pkg.b.use") == {"pkg.a.Scenario.windowed_p99"}
+
+    def test_builtin_method_names_never_duck_resolve(self):
+        """`rows.append(...)` must not resolve to a project `append`."""
+        index = _index(
+            **{
+                "pkg.a": (
+                    "class Trace:\n"
+                    "    def append(self, step):\n        self.x = step\n"
+                ),
+                "pkg.b": (
+                    "def build():\n"
+                    "    rows = []\n"
+                    "    rows.append(1)\n"
+                    "    return rows\n"
+                ),
+            }
+        )
+        graph = build_call_graph(index)
+        assert graph.callees("pkg.b.build") == set()
+
+    def test_ambiguous_names_do_not_resolve(self):
+        source = "class A:\n    def go(self):\n        return 1\n"
+        index = _index(**{"pkg.a": source, "pkg.b": source.replace("A", "B")})
+        caller = _index(c="def f(x):\n    return x.go()\n")
+        for name, module in caller.modules.items():
+            index.modules[name] = module
+        index.functions.update(caller.functions)
+        for bare, quals in caller.by_name.items():
+            index.by_name.setdefault(bare, []).extend(quals)
+        info = index.functions["c.f"]
+        call = info.node.body[0].value
+        assert resolve_call(call, info, index) is None
+
+
+class TestInterprocedural:
+    def test_summary_propagates_return_fact(self):
+        index = _index(
+            mod=(
+                "import time\n"
+                "def read_clock():\n    return time.perf_counter()\n"
+                "def use():\n    t = read_clock()\n    return t\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        summary = analysis.summaries["mod.use"]
+        assert summary.value.clock.value == "wall"
+
+    def test_param_passthrough_summary(self):
+        index = _index(
+            mod=(
+                "import time\n"
+                "def ident(x):\n    return x\n"
+                "def use():\n    return ident(time.perf_counter())\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        assert analysis.summaries["mod.ident"].value.from_params == frozenset(
+            {0}
+        )
+        assert analysis.summaries["mod.use"].value.clock.value == "wall"
+
+    def test_argument_facts_flow_into_callees(self):
+        """The forward half: a fact at the call site reaches the body."""
+        index = _index(
+            mod=(
+                "import time\n"
+                "def sink(t):\n    return t\n"
+                "def drive():\n    sink(time.perf_counter())\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        slot = analysis.param_facts["mod.sink"]
+        assert slot[0].clock.value == "wall"
+
+    def test_disagreeing_call_sites_join_to_top(self):
+        index = _index(
+            mod=(
+                "import time\n"
+                "class Sim:\n"
+                "    pass\n"
+                "def sink(t):\n    return t\n"
+                "def a(sim: Simulator):\n    sink(sim.now)\n"
+                "def b():\n    sink(time.perf_counter())\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        slot = analysis.param_facts["mod.sink"]
+        assert slot[0].clock.value == TOP  # wall vs sim: no guess
+
+    def test_fixpoint_converges(self):
+        index = _index(
+            mod=(
+                "import time\n"
+                "def a(x):\n    return b(x)\n"
+                "def b(x):\n    return a(x)\n"  # mutual recursion
+                "def go():\n    return a(time.time())\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        assert analysis.stats.passes < 10  # converged, not capped
+
+    def test_container_round_trip(self):
+        index = _index(
+            mod=(
+                "import time\n"
+                "def collect():\n"
+                "    out = []\n"
+                "    out.append(time.perf_counter())\n"
+                "    values = [time.perf_counter()]\n"
+                "    for v in values:\n"
+                "        t = v\n"
+                "    return values[0]\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        # The list literal's element fact survives indexing back out.
+        assert analysis.summaries["mod.collect"].value.clock.value == "wall"
+
+    def test_class_attr_facts_cross_methods(self):
+        index = _index(
+            mod=(
+                "import time\n"
+                "class Holder:\n"
+                "    def set_it(self):\n"
+                "        self.t0 = time.perf_counter()\n"
+                "    def get_it(self):\n"
+                "        return self.t0\n"
+            )
+        )
+        analysis = _analysis(index)
+        analysis.run()
+        summary = analysis.summaries["mod.Holder.get_it"]
+        assert summary.value.clock.value == "wall"
+
+    def test_stats_are_populated(self):
+        index = _index(mod="def f():\n    return 1\n")
+        analysis = _analysis(index)
+        analysis.run()
+        assert analysis.stats.functions_analyzed == 1
+        assert analysis.stats.modules == 1

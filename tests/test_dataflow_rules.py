@@ -1,0 +1,411 @@
+"""Positive/negative fixtures for each FLOW rule, via the real driver.
+
+Every test writes a small project tree to ``tmp_path`` and runs
+``lint_paths(dataflow=True)`` over it — the same path the CLI takes —
+so these double as end-to-end coverage of the engine wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.driver import lint_paths
+
+
+def _lint(tmp_path, **files):
+    root = tmp_path / "proj" / "src"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return lint_paths([root], config=LintConfig(), dataflow=True, use_cache=False)
+
+
+def _rules(result):
+    return [f.rule for f in result.findings if not f.suppressed]
+
+
+class TestFlow001Clock:
+    def test_wall_minus_sim_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/timing.py": (
+                    "import time\n"
+                    "def drift(sim: Simulator) -> float:\n"
+                    "    start = time.perf_counter()\n"
+                    "    return sim.now - start\n"
+                )
+            },
+        )
+        assert "FLOW001" in _rules(result)
+        finding = next(f for f in result.findings if f.rule == "FLOW001")
+        assert "timelines" in finding.message
+
+    def test_cross_function_mix_fires_with_taint_path(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/source.py": (
+                    "import time\n"
+                    "def stamp() -> float:\n"
+                    "    return time.perf_counter()\n"
+                ),
+                "pkg/use.py": (
+                    "from pkg.source import stamp\n"
+                    "def elapsed(sim: SimClock) -> float:\n"
+                    "    return sim.now - stamp()\n"
+                ),
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW001"]
+        assert flow, "cross-module clock mix must be detected"
+        # The taint path names the wall-clock read in the other file.
+        related_paths = {loc.path for loc in flow[0].related}
+        assert any(path.endswith("source.py") for path in related_paths)
+
+    def test_same_domain_arithmetic_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/ok.py": (
+                    "import time\n"
+                    "def elapsed() -> float:\n"
+                    "    t0 = time.perf_counter()\n"
+                    "    return time.perf_counter() - t0\n"
+                )
+            },
+        )
+        assert "FLOW001" not in _rules(result)
+
+    def test_mislabelled_tracer_view_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/views.py": (
+                    "def attach(tracer, sim):\n"
+                    "    clock = SimClock(sim)\n"
+                    "    return tracer.with_clock(clock, timeline='wall')\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW001"]
+        assert flow and "timeline" in flow[0].message
+
+    def test_correctly_labelled_view_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/views.py": (
+                    "def attach(tracer, sim):\n"
+                    "    clock = SimClock(sim)\n"
+                    "    return tracer.with_clock(clock, timeline='sim')\n"
+                )
+            },
+        )
+        assert "FLOW001" not in _rules(result)
+
+
+class TestFlow002Units:
+    def test_metric_read_to_unsuffixed_attr_fires(self, tmp_path):
+        """The controller-bug shape: a *_us metric read crossing a call
+        into a telemetry attribute with no unit suffix."""
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/signals.py": (
+                    "def read(registry):\n"
+                    "    gauge = registry.gauge('ops.p99_window_us')\n"
+                    "    return gauge.value\n"
+                ),
+                "pkg/loop.py": (
+                    "from pkg.signals import read\n"
+                    "def tick(tracer, registry):\n"
+                    "    p99 = read(registry)\n"
+                    "    tracer.event('ops.shed', p99=p99)\n"
+                ),
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW002"]
+        assert flow, "us value into unsuffixed attribute must be detected"
+        assert "suffix" in flow[0].message
+        assert any(
+            loc.path.endswith("signals.py") for loc in flow[0].related
+        ), "taint path must reach back to the metric read"
+
+    def test_suffixed_attr_with_matching_dim_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/loop.py": (
+                    "from repro.units import USEC\n"
+                    "def tick(tracer, elapsed):\n"
+                    "    tracer.event('ops.shed', p99_us=elapsed / USEC)\n"
+                )
+            },
+        )
+        assert "FLOW002" not in _rules(result)
+
+    def test_mixed_dimension_addition_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/mix.py": (
+                    "from repro.units import USEC, MSEC\n"
+                    "def total(a, b):\n"
+                    "    in_us = a / USEC\n"
+                    "    in_ms = b / MSEC\n"
+                    "    return in_us + in_ms\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW002"]
+        assert flow and "mixes us with ms" in flow[0].message
+
+    def test_double_conversion_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/convert.py": (
+                    "from repro.units import USEC, to_usec\n"
+                    "def twice(seconds):\n"
+                    "    count = seconds / USEC\n"
+                    "    return to_usec(count)\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW002"]
+        assert flow and "already in microseconds" in flow[0].message
+
+    def test_round_trip_conversion_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/convert.py": (
+                    "from repro.units import USEC\n"
+                    "def round_trip(seconds):\n"
+                    "    count = seconds / USEC\n"
+                    "    back = count * USEC\n"
+                    "    return back / USEC\n"
+                )
+            },
+        )
+        assert "FLOW002" not in _rules(result)
+
+    def test_wrong_dim_metric_observe_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/observe.py": (
+                    "from repro.units import MSEC\n"
+                    "def sample(registry, t):\n"
+                    "    hist = registry.histogram('lat_us')\n"
+                    "    hist.observe(t / MSEC)\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW002"]
+        assert flow and "'lat_us' stores us" in flow[0].message
+
+
+class TestFlow003Seeds:
+    def test_unseeded_generator_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/rand.py": (
+                    "from numpy.random import default_rng\n"
+                    "def make():\n"
+                    "    return default_rng()\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW003"]
+        assert flow and "unseeded" in flow[0].message
+
+    def test_seeded_generator_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/rand.py": (
+                    "from numpy.random import default_rng\n"
+                    "def make(seed):\n"
+                    "    return default_rng(seed)\n"
+                )
+            },
+        )
+        assert "FLOW003" not in _rules(result)
+
+    def test_unseeded_stream_crossing_boundary_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/consume.py": (
+                    "def shuffle(items, rng):\n"
+                    "    return rng.permutation(items)\n"
+                ),
+                "pkg/drive.py": (
+                    "from numpy.random import default_rng\n"
+                    "from pkg.consume import shuffle\n"
+                    "def go(items):\n"
+                    "    stream = default_rng()\n"
+                    "    return shuffle(items, stream)\n"
+                ),
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW003"]
+        boundary = [f for f in flow if "passed as 'rng'" in f.message]
+        assert boundary, "boundary crossing must be flagged"
+        assert "pkg.consume.shuffle" in boundary[0].message
+
+    def test_module_level_generator_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/shared.py": (
+                    "from numpy.random import default_rng\n"
+                    "RNG = default_rng(42)\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW003"]
+        assert flow and "module scope" in flow[0].message
+
+    def test_spawned_child_of_seeded_parent_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/consume.py": (
+                    "def shuffle(items, rng):\n"
+                    "    return rng.permutation(items)\n"
+                ),
+                "pkg/spawn.py": (
+                    "from numpy.random import default_rng\n"
+                    "from pkg.consume import shuffle\n"
+                    "def go(items, seed):\n"
+                    "    parent = default_rng(seed)\n"
+                    "    child = parent.spawn(1)\n"
+                    "    return shuffle(items, child)\n"
+                ),
+            },
+        )
+        assert "FLOW003" not in _rules(result)
+
+
+class TestFlow004Spans:
+    def test_assigned_never_entered_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/leak.py": (
+                    "def work(tracer):\n"
+                    "    span = tracer.span('work')\n"
+                    "    do_work()\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW004"]
+        assert flow and "never entered" in flow[0].message
+
+    def test_returned_span_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/leak.py": (
+                    "def start(tracer):\n"
+                    "    return tracer.span('work')\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW004"]
+        assert flow and "leaked across a return" in flow[0].message
+
+    def test_bare_expression_span_fires(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/leak.py": (
+                    "def work(tracer):\n"
+                    "    tracer.span('work')\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW004"]
+        assert flow and "never entered" in flow[0].message
+
+    def test_with_block_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/ok.py": (
+                    "def work(tracer):\n"
+                    "    with tracer.span('work'):\n"
+                    "        do_work()\n"
+                    "    span = tracer.span('second')\n"
+                    "    with span:\n"
+                    "        more_work()\n"
+                )
+            },
+        )
+        assert "FLOW004" not in _rules(result)
+
+    def test_enter_context_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/ok.py": (
+                    "from contextlib import ExitStack\n"
+                    "def work(tracer):\n"
+                    "    with ExitStack() as stack:\n"
+                    "        span = tracer.span('work')\n"
+                    "        stack.enter_context(span)\n"
+                    "        do_work()\n"
+                )
+            },
+        )
+        assert "FLOW004" not in _rules(result)
+
+
+class TestSuppressionAndScope:
+    def test_inline_directive_suppresses_flow_finding(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/rand.py": (
+                    "from numpy.random import default_rng\n"
+                    "def make():\n"
+                    "    return default_rng()  # simlint: disable=FLOW003\n"
+                )
+            },
+        )
+        flow = [f for f in result.findings if f.rule == "FLOW003"]
+        assert flow and all(f.suppressed for f in flow)
+        assert result.exit_code == 0
+
+    def test_default_excludes_carve_out_implementation_files(self, tmp_path):
+        # The same mislabelled view inside tracer.py is FLOW004/001-exempt
+        # (the implementation file legitimately hands spans around).
+        result = _lint(
+            tmp_path,
+            **{
+                "pkg/tracer.py": (
+                    "def start(tracer):\n"
+                    "    return tracer.span('work')\n"
+                )
+            },
+        )
+        assert "FLOW004" not in _rules(result)
+
+    def test_disabled_rule_never_fires(self, tmp_path):
+        root = tmp_path / "proj" / "src"
+        root.mkdir(parents=True)
+        (root / "rand.py").write_text(
+            "from numpy.random import default_rng\n"
+            "def make():\n"
+            "    return default_rng()\n",
+            encoding="utf-8",
+        )
+        config = LintConfig(disable=("FLOW003",))
+        result = lint_paths([root], config=config, dataflow=True, use_cache=False)
+        assert "FLOW003" not in _rules(result)
