@@ -53,6 +53,13 @@ Subpackages
     (``repro serve``, docs/OPERATIONS.md).
 ``systems``
     Name -> system-configuration registry shared by the CLI and sweeps.
+``exec``
+    Declarative :class:`ExperimentSpec` (YAML-loadable, ``extend:`` +
+    dotted overrides) and the serial/process-pool sweep executors
+    (docs/SCALING.md).
+``planner``
+    Capacity planner: precomputed model surfaces + sub-ms SLO queries
+    (``repro plan``, docs/SCALING.md).
 """
 
 from .graph import (
@@ -110,6 +117,16 @@ from .ops import (
     run_serving_scenario,
 )
 from . import systems
+from .exec import (
+    ExperimentSpec,
+    GraphSpec,
+    SystemSpec,
+    SweepConfig,
+    SerialExecutor,
+    ProcessPoolExecutor,
+    load_spec,
+)
+from .core.sweep import SweepResult, run_sweep
 
 __version__ = "1.0.0"
 
@@ -157,5 +174,14 @@ __all__ = [
     "named_storm",
     "run_serving_scenario",
     "systems",
+    "ExperimentSpec",
+    "GraphSpec",
+    "SystemSpec",
+    "SweepConfig",
+    "SweepResult",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "load_spec",
+    "run_sweep",
     "__version__",
 ]

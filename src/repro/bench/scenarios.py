@@ -22,6 +22,13 @@ Families
     the Figure 5 + Figure 11 sweeps on a shared trace.  Each timed run
     starts from a cleared evaluation cache so memoization only counts
     within-run wins.
+``sweep_parallel``
+    Executor scaling on the planner's config-grid surface: the same
+    build through ``SerialExecutor`` and ``ProcessPoolExecutor(4)``
+    (their verify digests must match — byte-identical results), plus
+    query throughput against the precomputed surface.  On a single-CPU
+    host the worker pool cannot beat serial; the committed baseline
+    reports whatever the hardware honestly delivers (docs/SCALING.md).
 """
 
 from __future__ import annotations
@@ -37,9 +44,12 @@ from ..analysis.driver import lint_paths
 from ..core.evalcache import clear_evaluation_cache
 from ..core.experiment import default_source, run_algorithm
 from ..core.suite import run_evaluation
-from ..core.sweep import alignment_sweep, cxl_latency_sweep
+from ..core.sweep import alignment_grid, cxl_latency_grid, sweep_trace
 from ..errors import BenchError
 from ..graph.datasets import CSRGraph, load_dataset
+from ..exec.executor import ProcessPoolExecutor
+from ..interconnect.pcie import PCIeLink
+from ..planner import build_surface, default_grid, plan_query
 from ..memsim.cache import IdealCache, LRUCache
 from ..memsim.raf import direct_access_amplification, read_amplification
 from ..sim.des import DESConfig, simulate_step, simulate_trace
@@ -48,7 +58,7 @@ from ..traversal.cc import connected_components
 from ..traversal.sssp import sssp_bellman_ford
 from ..traversal.trace import AccessTrace
 from ..units import MB, MB_PER_S, MIOPS, USEC
-from .schema import KNOWN_FAMILIES, array_digest
+from .schema import KNOWN_FAMILIES, array_digest, canonical_json
 
 __all__ = ["Prepared", "prepare_family", "scenario_catalog"]
 
@@ -392,12 +402,14 @@ def _prep_trajectory_sweeps(quick: bool) -> Prepared:
 
     def run() -> dict[str, Any]:
         clear_evaluation_cache()
-        align = alignment_sweep(trace)
-        latency = cxl_latency_sweep(trace)
+        align = sweep_trace(trace, alignment_grid())
+        latency = sweep_trace(
+            trace, cxl_latency_grid(), PCIeLink.from_name("gen3")
+        )
         return {
-            "xlfdd_first": _round(align["xlfdd"][0].normalized_runtime),
-            "xlfdd_last": _round(align["xlfdd"][-1].normalized_runtime),
-            "bam": _round(align["bam"][0].normalized_runtime),
+            "xlfdd_first": _round(align[0].normalized_runtime),
+            "xlfdd_last": _round(align[-2].normalized_runtime),
+            "bam": _round(align[-1].normalized_runtime),
             "cxl_last": _round(latency[-1].normalized_runtime),
         }
 
@@ -408,6 +420,109 @@ def _prep_trajectory_sweeps(quick: bool) -> Prepared:
         run=run,
         work_unit="points/s",
         work_amount=14.0,
+    )
+
+
+# --------------------------------------------------------------------------
+# sweep_parallel family
+# --------------------------------------------------------------------------
+
+
+def _surface_digest(surface: Mapping[str, Any]) -> str:
+    """Content fingerprint of a planner surface (canonical JSON bytes)."""
+    import hashlib
+
+    return hashlib.sha256(canonical_json(surface).encode()).hexdigest()[:16]
+
+
+def _surface_verify(surface: Mapping[str, Any]) -> dict[str, Any]:
+    # The serial and workers4 scenarios share this digest: equal values
+    # in the two baselines pin the byte-identical-results guarantee.
+    return {
+        "configs": len(surface["configs"]),
+        "digest": _surface_digest(surface),
+    }
+
+
+def _prep_surface_serial(quick: bool) -> Prepared:
+    grid = default_grid(quick=quick)
+
+    def run() -> dict[str, Any]:
+        clear_evaluation_cache()
+        return _surface_verify(build_surface(grid=grid))
+
+    return Prepared(
+        name="surface_serial",
+        family="sweep_parallel",
+        params={
+            "grid": "quick" if quick else "full",
+            "configs": len(grid),
+            "executor": "serial",
+        },
+        run=run,
+        work_unit="configs/s",
+        work_amount=float(len(grid)),
+    )
+
+
+def _prep_surface_workers4(quick: bool) -> Prepared:
+    grid = default_grid(quick=quick)
+
+    def run() -> dict[str, Any]:
+        clear_evaluation_cache()
+        # Pool startup is inside the timed region on purpose: it is part
+        # of the real cost of choosing the process executor.
+        with ProcessPoolExecutor(4) as executor:
+            return _surface_verify(build_surface(grid=grid, executor=executor))
+
+    return Prepared(
+        name="surface_workers4",
+        family="sweep_parallel",
+        params={
+            "grid": "quick" if quick else "full",
+            "configs": len(grid),
+            "executor": "process",
+            "workers": 4,
+        },
+        run=run,
+        work_unit="configs/s",
+        work_amount=float(len(grid)),
+    )
+
+
+def _prep_plan_queries(quick: bool) -> Prepared:
+    surface = build_surface(grid=default_grid(quick=quick))
+    queries = 200 if quick else 500
+    ref_bytes = int(surface["workload"]["edge_list_bytes"])
+    sizes = [ref_bytes * (i + 1) for i in range(queries)]
+
+    def run() -> dict[str, Any]:
+        total = 0
+        sample: list[Any] = []
+        for size in sizes:
+            rows = plan_query(surface, edge_bytes=size, top=5)
+            total += len(rows)
+            if size in (sizes[0], sizes[-1]):
+                sample.append(rows)
+        import hashlib
+        import json
+
+        digest = hashlib.sha256(
+            json.dumps(sample, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        return {"queries": queries, "results_total": total, "digest": digest}
+
+    return Prepared(
+        name="plan_queries",
+        family="sweep_parallel",
+        params={
+            "grid": "quick" if quick else "full",
+            "configs": len(surface["configs"]),
+            "queries": queries,
+        },
+        run=run,
+        work_unit="queries/s",
+        work_amount=float(queries),
     )
 
 
@@ -521,6 +636,11 @@ _FAMILIES: dict[str, list[Callable[[bool], Prepared]]] = {
         _prep_direct_curve,
     ],
     "sweep": [_prep_evaluation_matrix, _prep_trajectory_sweeps],
+    "sweep_parallel": [
+        _prep_surface_serial,
+        _prep_surface_workers4,
+        _prep_plan_queries,
+    ],
     "lint": [_prep_lint_cold, _prep_lint_warm],
 }
 

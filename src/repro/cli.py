@@ -10,6 +10,17 @@ Subcommands
     Regenerate a table/figure of the paper (``repro figure figure11``).
 ``requirements``
     Print Equation 6's external-memory requirements for a link.
+``sweep``
+    Run a declarative sweep from a YAML ``ExperimentSpec`` file
+    (``repro sweep --config examples/sweep_config.yaml``); specs
+    support ``extend:`` chaining and ``--set`` dotted overrides, and
+    ``--executor process`` fans points out to a worker pool with
+    bit-identical results (docs/SCALING.md).
+``plan``
+    Capacity planner: ``--build`` prices the device/alignment/link/
+    striping grid into a surface file, then queries answer "which
+    configs meet this size + SLO?" from the surface without re-running
+    the model; ``--serve`` turns that into a JSON-lines loop.
 ``chase``
     Run the pointer-chase latency microbenchmark for a target.
 ``lint``
@@ -47,7 +58,7 @@ from .errors import ReproError
 from .graph.datasets import DEFAULT_SCALE, load_dataset
 from .graph.stats import graph_stats
 from .interconnect.pcie import PCIeLink
-from .units import USEC, to_usec
+from .units import MSEC, USEC, to_usec
 
 __all__ = ["main", "build_parser"]
 
@@ -141,6 +152,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit non-zero unless the paper's headline claims hold",
     )
+    _add_executor_args(evaluate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative sweep from a YAML spec (docs/SCALING.md)",
+    )
+    sweep.add_argument(
+        "--config", required=True, metavar="PATH",
+        help="YAML ExperimentSpec with a sweep: section "
+        "(supports extend: chaining; see examples/sweep_config.yaml)",
+    )
+    sweep.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="overrides",
+        help="dotted-path spec override, e.g. --set graph.scale=12 "
+        "(repeatable; applied after the file's extend: chain)",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the sweep result as canonical JSON",
+    )
+    _add_executor_args(sweep)
+
+    plan = sub.add_parser(
+        "plan",
+        help="capacity planner: precompute / query model surfaces "
+        "(docs/SCALING.md)",
+    )
+    plan.add_argument(
+        "--surface", required=True, metavar="PATH",
+        help="surface file: the --build target, or the query source",
+    )
+    plan.add_argument(
+        "--build", action="store_true",
+        help="precompute the config-grid surface (parallelizable with "
+        "--executor process)",
+    )
+    plan.add_argument(
+        "--quick", action="store_true",
+        help="with --build: the thinned quick grid (tests/benchmarks)",
+    )
+    plan.add_argument(
+        "--serve", action="store_true",
+        help="answer JSON-lines queries from stdin until EOF/quit",
+    )
+    plan.add_argument(
+        "--edge-bytes", type=float, default=None, metavar="N",
+        help="graph edge-list size to plan for, in bytes",
+    )
+    plan.add_argument(
+        "--dataset", default=None, choices=["urand", "kron", "friendster"],
+        help="derive --edge-bytes from a dataset instead",
+    )
+    plan.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument(
+        "--slo-ms", type=float, default=None, metavar="MS",
+        help="runtime SLO in milliseconds (omit for no SLO filter)",
+    )
+    plan.add_argument(
+        "--link", default=None, choices=["gen3", "gen4", "gen5"],
+        help="restrict candidates to one PCIe generation",
+    )
+    plan.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="how many Pareto-ranked candidates to print (default 5)",
+    )
+    _add_executor_args(plan)
 
     chase = sub.add_parser("chase", help="pointer-chase latency microbenchmark")
     chase.add_argument(
@@ -316,6 +395,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", default="serial", choices=["serial", "process"],
+        help="how to run the points: in-process, or a worker pool "
+        "(bit-identical results either way; docs/SCALING.md)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size (default: CPU count, capped at 8)",
+    )
+
+
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -466,11 +557,148 @@ def _cmd_chase(args: argparse.Namespace) -> str:
     )
 
 
+def _make_executor(args: argparse.Namespace):
+    """Build the sweep executor the ``--executor/--workers`` flags name."""
+    from .exec.executor import make_executor
+
+    return make_executor(args.executor, workers=args.workers)
+
+
+def _parse_override_value(text: str):
+    """``--set`` values: JSON scalars where they parse, strings otherwise."""
+    import json
+
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from .core.sweep import run_sweep
+    from .errors import SpecError
+    from .exec.yamlspec import load_spec
+
+    loaded = load_spec(args.config)
+    if loaded.sweep is None:
+        raise SpecError(
+            f"{args.config} has no sweep: section; declare sweep.axes "
+            "(see examples/sweep_config.yaml)"
+        )
+    spec = loaded.spec
+    overrides = {}
+    for entry in args.overrides:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise SpecError(
+                f"--set expects KEY=VALUE with a dotted key, got {entry!r}"
+            )
+        overrides[key.strip()] = _parse_override_value(value)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    with _make_executor(args) as executor:
+        result = run_sweep(spec, loaded.sweep, executor=executor)
+    rows = []
+    for row in result.rows:
+        out_row = dict(row["overrides"])
+        out_row["runtime_s"] = row["runtime"]
+        if "normalized_runtime" in row:
+            out_row["normalized_runtime"] = row["normalized_runtime"]
+        out_row["system"] = row["system"]
+        out_row["bound"] = row["bound"]
+        rows.append(out_row)
+    parts = [
+        format_table(
+            rows,
+            title=f"sweep: {result.spec.graph.dataset}/"
+            f"{result.spec.algorithm} over {' x '.join(result.axes)} "
+            f"({len(rows)} points, {args.executor} executor)",
+        )
+    ]
+    if args.out:
+        from pathlib import Path
+
+        from .bench.schema import canonical_json
+
+        Path(args.out).write_text(
+            canonical_json(result.as_dict()), encoding="utf-8"
+        )
+        parts.append(f"wrote {args.out}")
+    return "\n".join(parts)
+
+
+def _cmd_plan(args: argparse.Namespace):
+    from .errors import PlannerError
+    from .planner import (
+        build_surface,
+        load_surface,
+        plan_query,
+        save_surface,
+        serve_queries,
+    )
+
+    if args.build:
+        with _make_executor(args) as executor:
+            surface = build_surface(executor=executor, quick=args.quick)
+        path = save_surface(surface, args.surface)
+        return (
+            f"wrote surface with {len(surface['configs'])} configs "
+            f"({'quick' if args.quick else 'full'} grid) to {path}"
+        )
+    surface = load_surface(args.surface)
+    if args.serve:
+        served = serve_queries(surface, sys.stdin, sys.stdout)
+        return f"served {served} queries"
+    if args.edge_bytes is not None:
+        edge_bytes = args.edge_bytes
+    elif args.dataset is not None:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        edge_bytes = float(graph.edge_list_bytes)
+    else:
+        raise PlannerError(
+            "plan query needs --edge-bytes N or --dataset NAME [--scale S]"
+        )
+    slo_s = args.slo_ms * MSEC if args.slo_ms is not None else None
+    rows = plan_query(
+        surface,
+        edge_bytes=edge_bytes,
+        slo_runtime_s=slo_s,
+        link=args.link,
+        top=args.top,
+    )
+    slo_text = f", SLO {args.slo_ms:g} ms" if slo_s is not None else ""
+    if not rows:
+        return (
+            f"no config meets the query ({edge_bytes:.3g} B{slo_text})",
+            1,
+        )
+    display = [
+        {
+            "rank": row["pareto_rank"],
+            "system": row["system"],
+            "link": row["link"],
+            "est_runtime_ms": row["est_runtime_s"] / MSEC,
+            "cost_usd": row["cost_usd"],
+            "devices": row["devices"],
+            "bound": row["bound"],
+        }
+        for row in rows
+    ]
+    return format_table(
+        display,
+        title=f"plan: top {len(rows)} configs for {edge_bytes:.3g} B"
+        f"{slo_text}",
+    )
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> str:
     from .core.suite import run_evaluation
     from .errors import ReproError
 
-    report = run_evaluation(scale=args.scale, seed=args.seed)
+    with _make_executor(args) as executor:
+        report = run_evaluation(
+            scale=args.scale, seed=args.seed, executor=executor
+        )
     output = report.render()
     if args.check:
         checks = report.headline_checks()
@@ -731,6 +959,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "requirements": _cmd_requirements,
     "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "plan": _cmd_plan,
     "chase": _cmd_chase,
     "lint": _cmd_lint,
     "profile": _cmd_profile,

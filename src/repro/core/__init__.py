@@ -46,13 +46,19 @@ from .experiment import (
 )
 from .sweep import (
     SweepPoint,
+    SweepResult,
+    alignment_grid,
     alignment_sweep,
+    comparison_matrix,
+    cxl_latency_grid,
     cxl_latency_sweep,
     method_comparison,
     normalized,
+    run_sweep,
+    sweep_trace,
 )
 from .report import format_table, format_series, geometric_mean, markdown_table
-from .cost import MediaCost, MEDIA_COSTS, system_memory_cost, cost_performance
+from .cost import MediaCost, MEDIA_COSTS, media_for, system_memory_cost, cost_performance
 from .export import rows_to_csv, rows_to_json, save_rows, load_rows
 from .plot import sparkline, ascii_chart
 from .placement import PlacementReport, placement_report, stripe_size_sweep
@@ -90,6 +96,12 @@ __all__ = [
     "run_experiment",
     "run_algorithm",
     "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "sweep_trace",
+    "alignment_grid",
+    "cxl_latency_grid",
+    "comparison_matrix",
     "alignment_sweep",
     "cxl_latency_sweep",
     "method_comparison",
@@ -100,6 +112,7 @@ __all__ = [
     "markdown_table",
     "MediaCost",
     "MEDIA_COSTS",
+    "media_for",
     "system_memory_cost",
     "cost_performance",
     "rows_to_csv",

@@ -25,7 +25,13 @@ from ..traversal.trace import AccessTrace
 from ..units import GB
 from .runtime_model import SystemModel, predict_runtime
 
-__all__ = ["MediaCost", "MEDIA_COSTS", "system_memory_cost", "cost_performance"]
+__all__ = [
+    "MediaCost",
+    "MEDIA_COSTS",
+    "media_for",
+    "system_memory_cost",
+    "cost_performance",
+]
 
 
 @dataclass(frozen=True)
@@ -95,7 +101,13 @@ _SYSTEM_MEDIA = {
 }
 
 
-def _media_for(system: SystemModel) -> MediaCost:
+def media_for(system: SystemModel) -> MediaCost:
+    """The media pricing class backing ``system`` (by name prefix).
+
+    Public so the capacity planner can record which pricing applies to
+    each surface config and re-price it at query time for arbitrary
+    data sizes without re-resolving the system.
+    """
     for prefix, media in _SYSTEM_MEDIA.items():
         if system.name.startswith(prefix):
             return MEDIA_COSTS[media]
@@ -116,7 +128,7 @@ def system_memory_cost(
     """
     if data_bytes < 0:
         raise ModelError("data_bytes must be >= 0")
-    media = media or _media_for(system)
+    media = media or media_for(system)
     pool_capacity = system.pool.capacity_bytes
     capacity = data_bytes if pool_capacity is None else max(data_bytes, 0)
     return media.cost(capacity, devices=system.pool.count)

@@ -5,6 +5,13 @@ both traversal algorithms, all four systems, plus the CXL latency sweep —
 and returns a single structured report.  This is the programmatic
 equivalent of "reproduce the evaluation section", used by the
 ``repro evaluate`` CLI command and the release smoke test.
+
+Each (dataset, algorithm) workload is one pure
+:func:`~repro.exec.tasks.evaluate_workload` task, so the matrix fans
+out across a :class:`~repro.exec.Executor` — workloads are independent
+(they share only deterministic inputs), and the report aggregates rows
+in fixed workload order, making the result bit-identical for any
+executor.
 """
 
 from __future__ import annotations
@@ -13,16 +20,9 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import ModelError
-from ..graph.datasets import load_dataset
-from ..interconnect.pcie import PCIeLink
-from ..telemetry.tracer import get_tracer
-from ..units import USEC
-from .experiment import run_algorithm, run_experiment
+from ..exec.executor import Executor, SerialExecutor
+from ..exec.tasks import evaluate_workload
 from .report import format_table, geometric_mean
-
-# System configurations resolve through the shared registry so the suite
-# prices exactly what ``repro run --system <name>`` would.
-from .. import systems as systems_registry
 
 __all__ = ["EvaluationReport", "run_evaluation"]
 
@@ -76,77 +76,39 @@ def run_evaluation(
     datasets: Sequence[str] = ("urand", "kron", "friendster"),
     algorithms: Sequence[str] = ("bfs", "sssp"),
     added_latencies_us: Sequence[float] = (0, 1, 2, 3),
+    executor: Executor | None = None,
 ) -> EvaluationReport:
-    """Run the complete evaluation matrix at ``scale``."""
+    """Run the complete evaluation matrix at ``scale``.
+
+    One executor task per (dataset, algorithm) workload; rows and
+    geomean samples are aggregated in workload order, so the report is
+    identical whether the matrix ran serially or across a process pool.
+    """
     if not datasets or not algorithms:
         raise ModelError("need at least one dataset and one algorithm")
+    executor = executor or SerialExecutor()
+    items = [
+        {
+            "dataset": dataset,
+            "scale": scale,
+            "seed": seed,
+            "algorithm": algorithm,
+            "added_latencies_us": tuple(added_latencies_us),
+        }
+        for dataset in datasets
+        for algorithm in algorithms
+    ]
+    outputs = executor.map(evaluate_workload, items)
     report = EvaluationReport(scale=scale)
-    gen3 = PCIeLink.from_name("gen3")
-    gen4 = PCIeLink.from_name("gen4")
     xlfdd_norms: list[float] = []
     bam_norms: list[float] = []
     cxl_flat: list[float] = []
-    tracer = get_tracer()
-    for dataset in datasets:
-        graph = load_dataset(dataset, scale=scale, seed=seed)
-        for algorithm in algorithms:
-            with tracer.span(
-                "evaluate.workload", dataset=dataset, algorithm=algorithm
-            ):
-                trace = run_algorithm(graph, algorithm)
-                # Figure 6 matrix on Gen4.
-                baseline4 = run_experiment(
-                    graph,
-                    algorithm,
-                    systems_registry.get("emogi", gen4),
-                    trace=trace,
-                ).runtime
-                for system in (
-                    systems_registry.get("xlfdd", gen4),
-                    systems_registry.get("bam", gen4),
-                ):
-                    result = run_experiment(
-                        graph, algorithm, system, trace=trace
-                    )
-                    norm = result.runtime / baseline4
-                    (
-                        xlfdd_norms if "xlfdd" in system.name else bam_norms
-                    ).append(norm)
-                    report.comparison_rows.append(
-                        {
-                            "dataset": dataset,
-                            "algorithm": algorithm,
-                            "system": system.name,
-                            "normalized_runtime": norm,
-                        }
-                    )
-                # Figure 11 matrix on Gen3.
-                baseline3 = run_experiment(
-                    graph,
-                    algorithm,
-                    systems_registry.get("emogi", gen3),
-                    trace=trace,
-                ).runtime
-                for added_us in added_latencies_us:
-                    result = run_experiment(
-                        graph,
-                        algorithm,
-                        systems_registry.get(
-                            "cxl", gen3, added_latency=added_us * USEC
-                        ),
-                        trace=trace,
-                    )
-                    norm = result.runtime / baseline3
-                    if added_us == 0:
-                        cxl_flat.append(norm)
-                    report.latency_rows.append(
-                        {
-                            "dataset": dataset,
-                            "algorithm": algorithm,
-                            "added_latency_us": added_us,
-                            "normalized_runtime": norm,
-                        }
-                    )
+    for out in outputs:
+        report.comparison_rows.extend(out["comparison_rows"])
+        report.latency_rows.extend(out["latency_rows"])
+        xlfdd_norms.extend(out["xlfdd_norms"])
+        bam_norms.extend(out["bam_norms"])
+        cxl_flat.extend(out["cxl_flat"])
     report.xlfdd_geomean = geometric_mean(xlfdd_norms)
     report.bam_geomean = geometric_mean(bam_norms)
     report.cxl_flat_worst = max(cxl_flat)

@@ -23,6 +23,9 @@ __all__ = [
     "ModelError",
     "TelemetryError",
     "BenchError",
+    "SpecError",
+    "ExecError",
+    "PlannerError",
 ]
 
 
@@ -108,3 +111,30 @@ class TelemetryError(ReproError, ValueError):
 
 class BenchError(ReproError, ValueError):
     """A benchmark scenario, result file, or comparison is invalid."""
+
+
+class SpecError(ConfigError):
+    """A declarative :class:`~repro.exec.ExperimentSpec` is invalid.
+
+    Raised for unknown keys, out-of-range values, malformed YAML
+    documents, and broken ``extend:`` chains.  The message always names
+    the offending key *and* the valid alternatives, because specs are
+    written by hand and "unknown key" without a field list is a
+    guessing game.
+    """
+
+
+class ExecError(ReproError, RuntimeError):
+    """A sweep executor could not run or transport its tasks.
+
+    Covers unpicklable task functions/payloads, worker crashes, and
+    misconfigured worker/chunking parameters.
+    """
+
+
+class PlannerError(ReproError, ValueError):
+    """A capacity-planner surface or query is invalid.
+
+    Raised for malformed surface files, schema mismatches, and queries
+    whose inputs (edge bytes, SLO) are not positive finite numbers.
+    """

@@ -1,0 +1,279 @@
+"""Sweep executors: serial and process-pool with chunked batching.
+
+An executor runs a pure task function over a list of payloads and
+returns the results in payload order.  Two implementations share the
+contract:
+
+* :class:`SerialExecutor` — in-process, zero transport cost; the
+  default everywhere and the reference for bit-identical results.
+* :class:`ProcessPoolExecutor` — fans chunks of payloads out to worker
+  processes.  Chunked batching matters twice over: it amortises pickle
+  transport (the task function and any bound arguments ship once per
+  chunk, not once per point) and it lets worker-local memoization
+  (:mod:`repro.core.evalcache` inside each worker) fire across the
+  points of a chunk.
+
+Determinism is the contract, not an accident: tasks must be pure
+functions of their payload, so ``map`` output is independent of the
+executor, the worker count, and the chunking.  A tier-1 property test
+pins serial and 4-worker results byte-identical.
+
+Result memoization is parent-side and executor-independent: give an
+executor a :class:`TaskMemo` and pass canonical task ``keys`` (config
+fingerprints from :mod:`repro.core.evalcache`) to ``map`` — memoized
+payloads never reach the workers, and hit/miss counts are identical for
+every executor because the memo sits above the transport.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent import futures
+from typing import Any, Callable, Sequence
+
+from ..errors import ExecError
+from ..telemetry.tracer import get_tracer
+
+__all__ = [
+    "TaskMemo",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "default_chunk_size",
+    "make_executor",
+]
+
+
+class TaskMemo:
+    """Bounded FIFO memo of task results keyed by canonical fingerprints.
+
+    Registered with :func:`repro.core.evalcache.register_cache` on
+    construction, so :func:`~repro.core.evalcache.clear_evaluation_cache`
+    flushes executor memos together with every other model memo in the
+    process (the benchmark harness relies on that single flush point).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ExecError(f"memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        from ..core.evalcache import register_cache
+
+        register_cache(self._entries)
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(found, value)`` — counts a hit or a miss."""
+        if key in self._entries:
+            self.hits += 1
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert, evicting the oldest entry at capacity."""
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def stats(self) -> dict[str, int]:
+        """``hits`` / ``misses`` / ``entries`` counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+
+class Executor:
+    """Base class: memo handling and telemetry around :meth:`_run`."""
+
+    #: Short name recorded in telemetry spans and bench params.
+    name = "base"
+
+    def __init__(self, *, memo: TaskMemo | None = None) -> None:
+        self.memo = memo
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        keys: Sequence[str] | None = None,
+    ) -> list[Any]:
+        """Run ``fn`` over ``payloads``; results in payload order.
+
+        ``keys`` are optional canonical memo keys (one per payload);
+        with a memo attached, hit payloads are answered parent-side and
+        only misses are dispatched.  The memo is consulted *before* any
+        transport, so hit/miss counts do not depend on the executor.
+        """
+        payloads = list(payloads)
+        if keys is not None and len(keys) != len(payloads):
+            raise ExecError(
+                f"got {len(keys)} memo keys for {len(payloads)} payloads"
+            )
+        results: list[Any] = [None] * len(payloads)
+        pending: list[int] = []
+        memo_hits = 0
+        if self.memo is not None and keys is not None:
+            for i, key in enumerate(keys):
+                found, value = self.memo.get(key)
+                if found:
+                    results[i] = value
+                    memo_hits += 1
+                else:
+                    pending.append(i)
+        else:
+            pending = list(range(len(payloads)))
+        with get_tracer().span(
+            "exec.map",
+            executor=self.name,
+            tasks=len(payloads),
+            dispatched=len(pending),
+            memo_hits=memo_hits,
+        ):
+            if pending:
+                computed = self._run(fn, [payloads[i] for i in pending])
+                if len(computed) != len(pending):
+                    raise ExecError(
+                        f"{self.name} executor returned {len(computed)} "
+                        f"results for {len(pending)} tasks"
+                    )
+                for i, value in zip(pending, computed):
+                    results[i] = value
+                    if self.memo is not None and keys is not None:
+                        self.memo.put(keys[i], value)
+        return results
+
+    def _run(self, fn: Callable[[Any], Any], payloads: list[Any]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (workers); idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every task in the calling process, in order."""
+
+    name = "serial"
+
+    def _run(self, fn: Callable[[Any], Any], payloads: list[Any]) -> list[Any]:
+        return [fn(payload) for payload in payloads]
+
+
+def default_chunk_size(num_tasks: int, workers: int) -> int:
+    """Chunk so each worker sees ~4 chunks (load balance vs transport).
+
+    Fewer, larger chunks amortise pickling and let worker-local caches
+    fire across chunk points; more, smaller chunks smooth out uneven
+    task costs.  Four chunks per worker is the standard compromise.
+    """
+    if num_tasks <= 0:
+        return 1
+    return max(1, -(-num_tasks // (workers * 4)))
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: list[Any]) -> list[Any]:
+    """Worker-side driver: apply ``fn`` to one chunk of payloads."""
+    return [fn(payload) for payload in chunk]
+
+
+class ProcessPoolExecutor(Executor):
+    """Chunked fan-out over a pool of worker processes.
+
+    The task function (plus any ``functools.partial`` bound arguments)
+    must pickle — module-level functions do, closures do not; the
+    executor raises a typed :class:`~repro.errors.ExecError` naming the
+    offender instead of a bare ``PicklingError`` from pool internals.
+
+    Workers are started lazily on first ``map`` and reused until
+    :meth:`close` (or context-manager exit).  ``workers`` defaults to
+    the machine's CPU count capped at 8 — sweeps are compute-bound, so
+    oversubscription buys nothing.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        chunk_size: int | None = None,
+        memo: TaskMemo | None = None,
+    ) -> None:
+        super().__init__(memo=memo)
+        if workers is None:
+            workers = min(8, os.cpu_count() or 1)
+        if workers < 1:
+            raise ExecError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool: futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = futures.ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _run(self, fn: Callable[[Any], Any], payloads: list[Any]) -> list[Any]:
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise ExecError(
+                f"task function {fn!r} is not picklable for process-pool "
+                f"dispatch ({exc}); use a module-level function (or a "
+                "functools.partial over one), or run a SerialExecutor"
+            ) from exc
+        size = self.chunk_size or default_chunk_size(len(payloads), self.workers)
+        chunks = [payloads[i : i + size] for i in range(0, len(payloads), size)]
+        pool = self._ensure_pool()
+        tracer = get_tracer()
+        try:
+            pending = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            results: list[Any] = []
+            for i, future in enumerate(pending):
+                with tracer.span(
+                    "exec.chunk", index=i, tasks=len(chunks[i])
+                ):
+                    results.extend(future.result())
+        except ExecError:
+            raise
+        except Exception as exc:
+            raise ExecError(
+                f"process-pool sweep task failed: {exc!r}"
+            ) from exc
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(
+    kind: str,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    memo: TaskMemo | None = None,
+) -> Executor:
+    """Build an executor from a CLI-style name (``serial``/``process``)."""
+    if kind == "serial":
+        return SerialExecutor(memo=memo)
+    if kind == "process":
+        return ProcessPoolExecutor(workers, chunk_size=chunk_size, memo=memo)
+    raise ExecError(
+        f"unknown executor {kind!r}; available: process, serial"
+    )

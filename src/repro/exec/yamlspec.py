@@ -1,0 +1,202 @@
+"""YAML experiment files: ``extend:`` chaining plus dotted overrides.
+
+A spec file is a YAML mapping of :class:`~repro.exec.ExperimentSpec`
+fields, optionally carrying a ``sweep:`` section (axes + baseline) and
+an ``extend:`` key naming one or more base files (relative to the
+extending file) whose contents are deep-merged underneath — the pycomex
+pattern: a base experiment declares the common configuration, variants
+override just the knobs they change::
+
+    # sweep_config.yaml
+    extend: base_experiment.yaml
+    system.options.alignment_bytes: 64      # dotted keys sugar nesting
+    sweep:
+      axes:
+        system.options.alignment_bytes: [16, 32, 64, 128]
+
+Merge semantics: mappings merge recursively, anything else (scalars,
+lists) replaces.  Dotted keys are expanded *before* merging, so
+``system.options.x: 1`` and ``system: {options: {x: 1}}`` are the same
+document.  Extension chains are followed depth-first with cycle
+detection; unknown spec keys fail with the usual typed
+:class:`~repro.errors.SpecError` listing valid fields.
+
+PyYAML is the only optional dependency; when it is missing,
+:func:`load_spec` raises a :class:`SpecError` telling the user so
+instead of an ImportError from the middle of the CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import SpecError
+from .spec import ExperimentSpec, SweepConfig
+
+try:  # gate the optional dependency; never a hard import error
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - exercised only without PyYAML
+    _yaml = None  # type: ignore[assignment]
+
+__all__ = ["LoadedSpec", "load_spec", "parse_spec_document", "deep_merge"]
+
+#: Keys handled by the loader itself, not by ExperimentSpec.
+_LOADER_KEYS = ("extend", "sweep")
+
+
+class LoadedSpec:
+    """A parsed spec file: the experiment plus its optional sweep section."""
+
+    __slots__ = ("spec", "sweep", "sources")
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        sweep: SweepConfig | None,
+        sources: tuple[str, ...],
+    ) -> None:
+        self.spec = spec
+        self.sweep = sweep
+        #: The extension chain, base-most first (for error messages/logs).
+        self.sources = sources
+
+
+def expand_dotted(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Expand ``{"a.b": v}`` into ``{"a": {"b": v}}``, recursively.
+
+    A dotted key and an explicit nested mapping for the same path merge;
+    conflicting scalar-vs-mapping shapes raise :class:`SpecError`.
+    """
+    out: dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            value = expand_dotted(value)
+        if not isinstance(key, str):
+            raise SpecError(f"spec keys must be strings, got {key!r}")
+        parts = key.split(".") if "." in key else [key]
+        if not all(parts):
+            raise SpecError(f"invalid dotted key {key!r}")
+        node = out
+        for part in parts[:-1]:
+            child = node.setdefault(part, {})
+            if not isinstance(child, dict):
+                raise SpecError(
+                    f"key {key!r} conflicts with non-mapping value at "
+                    f"{part!r}"
+                )
+            node = child
+        leaf = parts[-1]
+        if (
+            leaf in node
+            and isinstance(node[leaf], dict)
+            and isinstance(value, Mapping)
+        ):
+            node[leaf] = deep_merge(node[leaf], value)
+        else:
+            node[leaf] = value
+    return out
+
+
+def deep_merge(base: Mapping[str, Any], override: Mapping[str, Any]) -> dict[str, Any]:
+    """Recursive mapping merge; non-mapping override values replace."""
+    out: dict[str, Any] = {k: v for k, v in base.items()}
+    for key, value in override.items():
+        if (
+            key in out
+            and isinstance(out[key], Mapping)
+            and isinstance(value, Mapping)
+        ):
+            out[key] = deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out
+
+
+def _read_yaml(path: Path) -> dict[str, Any]:
+    if _yaml is None:
+        raise SpecError(
+            "loading YAML experiment specs requires PyYAML "
+            "(pip install pyyaml)"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path}: {exc}") from exc
+    try:
+        data = _yaml.safe_load(text)
+    except _yaml.YAMLError as exc:
+        raise SpecError(f"malformed YAML in {path}: {exc}") from exc
+    if data is None:
+        data = {}
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"spec file {path} must be a YAML mapping, got "
+            f"{type(data).__name__}"
+        )
+    return _expand_except_sweep(data)
+
+
+def _expand_except_sweep(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Expand dotted keys, leaving the ``sweep:`` subtree verbatim.
+
+    Sweep axis keys and baseline keys *are* dotted override paths
+    (``system.options.alignment_bytes: [...]``), not nesting sugar —
+    expanding them would turn an axis name into a nested mapping.
+    """
+    data = dict(data)
+    sweep = data.pop("sweep", None)
+    out = expand_dotted(data)
+    if sweep is not None:
+        if not isinstance(sweep, Mapping):
+            raise SpecError(
+                f"sweep section must be a mapping, got {type(sweep).__name__}"
+            )
+        out["sweep"] = dict(sweep)
+    return out
+
+
+def _load_merged(path: Path, seen: tuple[Path, ...]) -> tuple[dict[str, Any], tuple[str, ...]]:
+    """Resolve one file's ``extend:`` chain into a single merged mapping."""
+    path = path.resolve()
+    if path in seen:
+        chain = " -> ".join(str(p) for p in (*seen, path))
+        raise SpecError(f"circular extend chain: {chain}")
+    data = _read_yaml(path)
+    extends = data.pop("extend", None)
+    merged: dict[str, Any] = {}
+    sources: tuple[str, ...] = ()
+    if extends is not None:
+        if isinstance(extends, str):
+            extends = [extends]
+        if not isinstance(extends, list) or not all(
+            isinstance(e, str) for e in extends
+        ):
+            raise SpecError(
+                f"{path}: extend must be a file name or list of file names"
+            )
+        for entry in extends:
+            base_path = (path.parent / entry).resolve()
+            base_data, base_sources = _load_merged(base_path, (*seen, path))
+            merged = deep_merge(merged, base_data)
+            sources += base_sources
+    merged = deep_merge(merged, data)
+    return merged, (*sources, str(path))
+
+
+def parse_spec_document(
+    data: Mapping[str, Any], *, sources: tuple[str, ...] = ()
+) -> LoadedSpec:
+    """Build a :class:`LoadedSpec` from an already-merged mapping."""
+    data = _expand_except_sweep(data)
+    sweep_data = data.pop("sweep", None)
+    data.pop("extend", None)
+    spec = ExperimentSpec.from_dict(data)
+    sweep = SweepConfig.from_dict(sweep_data) if sweep_data is not None else None
+    return LoadedSpec(spec, sweep, sources)
+
+
+def load_spec(path: str | Path) -> LoadedSpec:
+    """Load ``path`` (following ``extend:``) into a validated spec."""
+    merged, sources = _load_merged(Path(path), ())
+    return parse_spec_document(merged, sources=sources)

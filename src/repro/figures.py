@@ -31,10 +31,16 @@ from .core.requirements import (
     paper_gen4_requirements,
     xlfdd_requirements,
 )
-from .core.sweep import alignment_sweep, cxl_latency_sweep, method_comparison
+from .core.sweep import (
+    alignment_grid,
+    comparison_matrix,
+    cxl_latency_grid,
+    sweep_trace,
+)
 from .devices.cxl import agilex_prototype
 from .graph.datasets import DATASETS, load_dataset
 from .graph.stats import table1_row
+from .interconnect.pcie import PCIeLink
 from .interconnect.topology import paper_topology
 from .memsim.raf import raf_curve
 from .sim.des import DESConfig
@@ -200,7 +206,7 @@ def figure5(
     """Figure 5: XLFDD BFS/urand runtime vs alignment, EMOGI-normalised."""
     graph = load_dataset("urand", scale=scale, seed=seed)
     trace = run_algorithm(graph, "bfs")
-    sweep = alignment_sweep(trace, alignments)
+    points = sweep_trace(trace, alignment_grid(alignments))
     rows = [
         {
             "system": "xlfdd",
@@ -208,9 +214,9 @@ def figure5(
             "normalized_runtime": p.normalized_runtime,
             "bound": p.bound,
         }
-        for p in sweep["xlfdd"]
+        for p in points[:-1]
     ]
-    for p in sweep["bam"]:
+    for p in points[-1:]:
         rows.append(
             {
                 "system": "bam",
@@ -235,7 +241,7 @@ def figure6(
 ) -> FigureResult:
     """Figure 6: XLFDD vs BaM normalized runtimes across all workloads."""
     graphs = [load_dataset(d, scale=scale, seed=seed) for d in datasets]
-    rows = method_comparison(graphs, algorithms)
+    rows = comparison_matrix(graphs, algorithms)
     out_rows = [
         {
             "graph": row["graph"],
@@ -347,8 +353,10 @@ def figure11(
         graph = load_dataset(dataset, scale=scale, seed=seed)
         for algorithm in algorithms:
             trace = run_algorithm(graph, algorithm)
-            points = cxl_latency_sweep(
-                trace, [u * USEC for u in added_latencies_us]
+            points = sweep_trace(
+                trace,
+                cxl_latency_grid([u * USEC for u in added_latencies_us]),
+                PCIeLink.from_name("gen3"),
             )
             for p in points:
                 rows.append(

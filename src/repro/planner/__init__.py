@@ -1,0 +1,37 @@
+"""The capacity planner: precomputed model surfaces + sub-ms queries.
+
+ROADMAP item 2's "model as a service": :func:`build_surface` prices the
+device × alignment × topology × striping grid once (in parallel,
+through :mod:`repro.exec`), :func:`save_surface`/:func:`load_surface`
+persist it as canonical machine-independent JSON, :func:`plan_query`
+answers "given graph stats + an SLO, which configs meet it?" from the
+loaded surface without re-running the model, and
+:func:`serve_queries` wraps that in a long-running JSON-lines loop
+(``repro plan --serve``).
+"""
+
+from __future__ import annotations
+
+from .query import plan_query
+from .service import serve_queries
+from .surface import (
+    SURFACE_SCHEMA,
+    build_surface,
+    default_grid,
+    default_workload,
+    load_surface,
+    save_surface,
+    validate_surface,
+)
+
+__all__ = [
+    "SURFACE_SCHEMA",
+    "build_surface",
+    "default_grid",
+    "default_workload",
+    "save_surface",
+    "load_surface",
+    "validate_surface",
+    "plan_query",
+    "serve_queries",
+]

@@ -1,0 +1,72 @@
+"""``repro plan --serve``: a JSON-lines query loop over one surface.
+
+The service half of ROADMAP item 2: load the surface once, answer many
+queries.  The protocol is one JSON object per input line::
+
+    {"edge_bytes": 5.4e9, "slo_runtime_s": 0.002, "link": "gen4", "top": 3}
+
+answered with one JSON object per output line — ``{"results": [...],
+"count": N}`` on success, ``{"error": "..."}`` for malformed or invalid
+queries (the loop keeps serving; a bad query never kills the service).
+A line reading ``quit`` or ``exit``, or end-of-input, shuts the loop
+down.  No timestamps, no randomness: responses are a pure function of
+(surface, query), so session transcripts are replayable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Mapping
+
+from ..errors import ReproError
+from .query import plan_query
+
+__all__ = ["serve_queries"]
+
+#: Query-object keys forwarded to :func:`plan_query`.
+_QUERY_KEYS = ("edge_bytes", "slo_runtime_s", "link", "top")
+
+
+def _answer(surface: Mapping[str, Any], line: str) -> dict[str, Any]:
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"error": f"malformed JSON query: {exc}"}
+    if not isinstance(request, Mapping):
+        return {"error": "query must be a JSON object"}
+    unknown = sorted(set(request) - set(_QUERY_KEYS))
+    if unknown:
+        return {
+            "error": (
+                f"unknown query key(s) {', '.join(unknown)}; "
+                f"valid keys: {', '.join(_QUERY_KEYS)}"
+            )
+        }
+    if "edge_bytes" not in request:
+        return {"error": "query needs edge_bytes"}
+    try:
+        results = plan_query(surface, **dict(request))
+    except ReproError as exc:
+        return {"error": str(exc)}
+    return {"results": results, "count": len(results)}
+
+
+def serve_queries(
+    surface: Mapping[str, Any], in_stream: IO[str], out_stream: IO[str]
+) -> int:
+    """Serve queries line-by-line until EOF/quit; returns queries served."""
+    from .surface import validate_surface
+
+    surface = validate_surface(surface)
+    served = 0
+    for raw in in_stream:
+        line = raw.strip()
+        if not line:
+            continue
+        if line in ("quit", "exit"):
+            break
+        response = _answer(surface, line)
+        out_stream.write(json.dumps(response, sort_keys=True) + "\n")
+        out_stream.flush()
+        served += 1
+    return served

@@ -204,3 +204,90 @@ def test_run_unknown_system_rejected_by_parser(capsys):
             capsys,
             "run", "--dataset", "urand", "--scale", "10", "--system", "nvlink",
         )
+
+
+class TestSweepCommand:
+    def _example(self):
+        from pathlib import Path
+
+        return str(
+            Path(__file__).resolve().parent.parent
+            / "examples"
+            / "sweep_config.yaml"
+        )
+
+    def test_sweep_from_yaml(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "--config", self._example(),
+            "--set", "graph.scale=10",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert "normalized_runtime" in out
+        assert "9 points" in out
+        import json
+
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["spec"]["graph"]["scale"] == 10
+        assert len(payload["rows"]) == 9
+
+    def test_sweep_missing_section_fails(self, capsys, tmp_path):
+        config = tmp_path / "nosweep.yaml"
+        config.write_text("algorithm: bfs\n", encoding="utf-8")
+        code, _, err = run_cli(capsys, "sweep", "--config", str(config))
+        assert code == 1
+        assert "no sweep" in err
+
+    def test_sweep_bad_set_flag(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "--config", self._example(), "--set", "scale"
+        )
+        assert code == 1
+        assert "KEY=VALUE" in err
+
+
+class TestPlanCommand:
+    @pytest.fixture()
+    def surface_path(self, capsys, tmp_path):
+        path = tmp_path / "surface.json"
+        code, out, _ = run_cli(
+            capsys, "plan", "--surface", str(path), "--build", "--quick"
+        )
+        assert code == 0
+        assert "10 configs" in out
+        return str(path)
+
+    def test_query_by_dataset(self, capsys, surface_path):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--surface", surface_path,
+            "--dataset", "urand", "--scale", "10", "--top", "3",
+        )
+        assert code == 0
+        assert "rank" in out
+        assert "emogi" in out
+
+    def test_query_no_match_exits_nonzero(self, capsys, surface_path):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--surface", surface_path,
+            "--edge-bytes", "1", "--slo-ms", "1e-9",
+        )
+        assert code == 1
+        assert "no config meets" in out
+
+    def test_query_needs_a_size(self, capsys, surface_path):
+        code, _, err = run_cli(capsys, "plan", "--surface", surface_path)
+        assert code == 1
+        assert "--edge-bytes" in err
+
+    def test_missing_surface_fails_typed(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "plan", "--surface", str(tmp_path / "nope.json"),
+            "--edge-bytes", "1e6",
+        )
+        assert code == 1
+        assert "cannot read" in err

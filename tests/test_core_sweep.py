@@ -100,3 +100,98 @@ class TestMethodComparison:
             r["normalized_runtime"] for r in rows if str(r["system"]).startswith("bam")
         ]
         assert geometric_mean(xlfdd) < geometric_mean(bam)
+
+
+class TestDeprecationShims:
+    """The legacy entry points still work but announce the executor path."""
+
+    def test_alignment_sweep_warns(self, bfs_trace):
+        with pytest.warns(DeprecationWarning, match="sweep_trace"):
+            alignment_sweep(bfs_trace, alignments=(16,))
+
+    def test_cxl_latency_sweep_warns(self, bfs_trace):
+        with pytest.warns(DeprecationWarning, match="sweep_trace"):
+            cxl_latency_sweep(bfs_trace, added_latencies=(0.0,))
+
+    def test_method_comparison_warns(self, urand_small):
+        with pytest.warns(DeprecationWarning, match="comparison_matrix"):
+            method_comparison([urand_small], algorithms=("bfs",))
+
+    def test_alignment_shim_matches_grid_path(self, bfs_trace):
+        import warnings
+
+        from repro.core.sweep import alignment_grid, sweep_trace
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = alignment_sweep(bfs_trace, alignments=(16, 64))
+        new = sweep_trace(bfs_trace, alignment_grid((16, 64)))
+        assert new[:-1] == old["xlfdd"]
+        assert new[-1:] == old["bam"]
+
+    def test_cxl_shim_matches_grid_path(self, bfs_trace):
+        import warnings
+
+        from repro.core.sweep import cxl_latency_grid, sweep_trace
+        from repro.interconnect.pcie import PCIeLink
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = cxl_latency_sweep(bfs_trace, added_latencies=(0.0, 2 * USEC))
+        new = sweep_trace(
+            bfs_trace,
+            cxl_latency_grid((0.0, 2 * USEC)),
+            PCIeLink.from_name("gen3"),
+        )
+        assert new == old
+
+
+class TestRunSweep:
+    """The declarative spec/grid path behind ``repro sweep``."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core.sweep import run_sweep
+        from repro.exec import ExperimentSpec, SweepConfig
+        from repro.exec.spec import GraphSpec, SweepAxis, SystemSpec
+
+        spec = ExperimentSpec(
+            graph=GraphSpec(dataset="urand", scale=10),
+            system=SystemSpec(name="xlfdd", link="gen4"),
+        )
+        config = SweepConfig(
+            axes=(
+                SweepAxis(
+                    key="system.options.alignment_bytes", values=(16, 64, 512)
+                ),
+            ),
+            baseline={"system.name": "emogi", "system.options": {}},
+        )
+        return run_sweep(spec, config)
+
+    def test_one_row_per_point_in_grid_order(self, result):
+        assert len(result.rows) == 3
+        axis = "system.options.alignment_bytes"
+        assert [row["overrides"][axis] for row in result.rows] == [16, 64, 512]
+
+    def test_points_match_figure5_shape(self, result):
+        points = result.points()
+        norms = [p.normalized_runtime for p in points]
+        assert norms == sorted(norms)  # slower with larger alignments
+        assert points[0].normalized_runtime == pytest.approx(1.0, abs=0.35)
+
+    def test_baseline_division_parent_side(self, result):
+        for row in result.rows:
+            assert row["normalized_runtime"] == pytest.approx(
+                row["runtime"] / result.baseline_runtime
+            )
+
+    def test_points_without_baseline_raises(self):
+        from repro.core.sweep import SweepResult
+        from repro.exec import ExperimentSpec
+
+        bare = SweepResult(
+            spec=ExperimentSpec(), axes=("a",), rows=(), baseline_runtime=None
+        )
+        with pytest.raises(ModelError, match="baseline"):
+            bare.points()

@@ -1,0 +1,212 @@
+"""Executors: determinism across transports, memoization, round-trips.
+
+The load-bearing property test here pins the repo's central executor
+guarantee: a sweep priced through ``ProcessPoolExecutor(workers=4)`` is
+*byte-identical* (canonical JSON) to the same sweep priced serially,
+and parent-side memo hit counts are executor-independent.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bench.schema import canonical_json
+from repro.core.evalcache import clear_evaluation_cache
+from repro.core.sweep import SweepPoint, run_sweep
+from repro.errors import ExecError
+from repro.exec import (
+    ExperimentSpec,
+    GraphSpec,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SweepConfig,
+    SystemSpec,
+)
+from repro.exec.executor import TaskMemo, default_chunk_size, make_executor
+from repro.exec.spec import SweepAxis
+
+
+def _quick_sweep():
+    """A small Figure-5-shaped sweep: 4 alignments, EMOGI baseline."""
+    spec = ExperimentSpec(
+        graph=GraphSpec(dataset="urand", scale=10),
+        system=SystemSpec(name="xlfdd", link="gen4"),
+    )
+    config = SweepConfig(
+        axes=(
+            SweepAxis(
+                key="system.options.alignment_bytes",
+                values=(16, 64, 512, 4096),
+            ),
+        ),
+        baseline={"system.name": "emogi", "system.options": {}},
+    )
+    return spec, config
+
+
+class TestTaskMemo:
+    def test_hit_miss_counters(self):
+        memo = TaskMemo()
+        found, _ = memo.get("k")
+        assert not found
+        memo.put("k", 42)
+        found, value = memo.get("k")
+        assert found and value == 42
+        assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_fifo_eviction_at_capacity(self):
+        memo = TaskMemo(capacity=2)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        memo.put("c", 3)  # evicts "a"
+        assert memo.get("a") == (False, None)
+        assert memo.get("b") == (True, 2)
+        assert memo.get("c") == (True, 3)
+
+    def test_flushed_by_clear_evaluation_cache(self):
+        memo = TaskMemo()
+        memo.put("k", 1)
+        clear_evaluation_cache()
+        assert memo.get("k") == (False, None)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ExecError):
+            TaskMemo(capacity=0)
+
+
+class TestExecutorContract:
+    def test_serial_preserves_order(self):
+        assert SerialExecutor().map(abs, [-3, 1, -2]) == [3, 1, 2]
+
+    def test_memo_short_circuits_dispatch(self):
+        memo = TaskMemo()
+        ex = SerialExecutor(memo=memo)
+        first = ex.map(abs, [-1, -2], keys=["a", "b"])
+        second = ex.map(abs, [-1, -2], keys=["a", "b"])
+        assert first == second == [1, 2]
+        assert memo.stats()["hits"] == 2
+        assert memo.stats()["misses"] == 2
+
+    def test_key_count_mismatch(self):
+        with pytest.raises(ExecError, match="memo keys"):
+            SerialExecutor(memo=TaskMemo()).map(abs, [-1], keys=["a", "b"])
+
+    def test_make_executor_names(self):
+        assert make_executor("serial").name == "serial"
+        ex = make_executor("process", workers=2)
+        assert ex.name == "process" and ex.workers == 2
+        with pytest.raises(ExecError, match="unknown executor"):
+            make_executor("threads")
+
+    def test_default_chunk_size(self):
+        # ~4 chunks per worker, never below 1.
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(3, 4) == 1
+        assert default_chunk_size(100, 4) == 7  # ceil(100 / 16)
+        assert default_chunk_size(16, 1) == 4
+
+    def test_process_pool_rejects_unpicklable_fn(self):
+        # The pickle pre-check fires before any worker spawns, so a
+        # closure fails fast with a typed, self-explanatory error.
+        ex = ProcessPoolExecutor(workers=2)
+        with pytest.raises(ExecError, match="not picklable"):
+            ex.map(lambda p: p, [1, 2])
+
+    def test_process_pool_invalid_shapes(self):
+        with pytest.raises(ExecError):
+            ProcessPoolExecutor(workers=0)
+        with pytest.raises(ExecError):
+            ProcessPoolExecutor(workers=2, chunk_size=0)
+
+
+class TestExecutorEquivalence:
+    """Satellite: serial and 4-worker process results are byte-identical."""
+
+    def test_process_pool_byte_identical_to_serial(self):
+        spec, config = _quick_sweep()
+        clear_evaluation_cache()
+        serial = run_sweep(spec, config, executor=SerialExecutor())
+        clear_evaluation_cache()
+        with ProcessPoolExecutor(workers=4) as ex:
+            pooled = run_sweep(spec, config, executor=ex)
+        assert canonical_json(serial.as_dict()) == canonical_json(pooled.as_dict())
+
+    def test_memo_hits_identical_across_executors(self):
+        """A reseeded second run hits the memo identically per executor."""
+        spec, config = _quick_sweep()
+        stats = {}
+        renders = {}
+        for kind in ("serial", "process"):
+            clear_evaluation_cache()
+            memo = TaskMemo()
+            workers = 4 if kind == "process" else None
+            with make_executor(kind, workers=workers, memo=memo) as ex:
+                first = run_sweep(spec, config, executor=ex)
+                second = run_sweep(spec, config, executor=ex)
+            assert canonical_json(first.as_dict()) == canonical_json(
+                second.as_dict()
+            )
+            stats[kind] = memo.stats()
+            renders[kind] = canonical_json(first.as_dict())
+        assert stats["serial"] == stats["process"]
+        assert stats["serial"]["hits"] == config.num_points
+        assert stats["serial"]["misses"] == config.num_points
+        assert renders["serial"] == renders["process"]
+
+
+class TestSweepPointRoundTrip:
+    """Regression: points built from NumPy scalars round-trip cleanly.
+
+    Sweep axes used to leak ``np.float64``/``np.int64`` into points,
+    which pickled non-canonically and made ``json.dumps`` fail.
+    """
+
+    def test_numpy_inputs_coerced_to_builtins(self):
+        point = SweepPoint(
+            x=np.int64(64),
+            runtime=np.float64(1.5e-3),
+            normalized_runtime=np.float64(1.2),
+            system=np.str_("xlfdd-64B"),
+            bound="iops",
+        )
+        assert type(point.x) is float
+        assert type(point.runtime) is float
+        assert type(point.normalized_runtime) is float
+        assert type(point.system) is str
+
+    def test_pickle_round_trip(self):
+        point = SweepPoint(
+            x=np.float64(16.0),
+            runtime=2e-3,
+            normalized_runtime=np.float64(1.0),
+            system="xlfdd-16B",
+            bound="bandwidth",
+        )
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert type(clone.x) is float
+
+    def test_canonical_json_round_trip(self):
+        point = SweepPoint(
+            x=np.int64(4096),
+            runtime=np.float64(3e-3),
+            normalized_runtime=np.float64(2.5),
+            system="bam",
+            bound="iops",
+        )
+        text = json.dumps(point.as_dict(), sort_keys=True)
+        assert SweepPoint.from_dict(json.loads(text)) == point
+
+    def test_sweep_result_canonical_json(self):
+        spec, config = _quick_sweep()
+        clear_evaluation_cache()
+        result = run_sweep(spec, config)
+        payload = canonical_json(result.as_dict())
+        parsed = json.loads(payload)
+        assert len(parsed["rows"]) == config.num_points
+        assert parsed["baseline_runtime"] > 0
+        points = result.points()
+        assert [p.x for p in points] == [16.0, 64.0, 512.0, 4096.0]
+        assert all(type(p.runtime) is float for p in points)
