@@ -19,7 +19,9 @@ Quickstart::
     print(cxl.runtime / dram.runtime)
 
 System configurations resolve by name through :mod:`repro.systems`
-(``systems.available()`` lists them); telemetry lives in
+(``systems.available()`` lists them) and workloads through
+:mod:`repro.workloads` (``workloads.available()`` lists the eight
+registered algorithm kernels — docs/WORKLOADS.md); telemetry lives in
 :mod:`repro.telemetry` (``Tracer``, ``use_tracer``, exporters — see
 docs/TELEMETRY.md).
 
@@ -53,6 +55,10 @@ Subpackages
     (``repro serve``, docs/OPERATIONS.md).
 ``systems``
     Name -> system-configuration registry shared by the CLI and sweeps.
+``workloads``
+    Name -> workload registry (algorithm kernel + engine memory mode +
+    access signature), streaming graph updates, and multi-tenant
+    serving (docs/WORKLOADS.md).
 ``exec``
     Declarative :class:`ExperimentSpec` (YAML-loadable, ``extend:`` +
     dotted overrides) and the serial/process-pool sweep executors
@@ -117,11 +123,13 @@ from .ops import (
     run_serving_scenario,
 )
 from . import systems
+from . import workloads
 from .exec import (
     ExperimentSpec,
     GraphSpec,
     SystemSpec,
     SweepConfig,
+    WorkloadSpec,
     SerialExecutor,
     ProcessPoolExecutor,
     load_spec,
@@ -174,10 +182,12 @@ __all__ = [
     "named_storm",
     "run_serving_scenario",
     "systems",
+    "workloads",
     "ExperimentSpec",
     "GraphSpec",
     "SystemSpec",
     "SweepConfig",
+    "WorkloadSpec",
     "SweepResult",
     "SerialExecutor",
     "ProcessPoolExecutor",

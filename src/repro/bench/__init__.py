@@ -13,6 +13,7 @@ the schema, methodology, and the measured trajectory.
 
 from .compare import (
     DEFAULT_THRESHOLD,
+    baseline_missing_rows,
     check_regression,
     compare_results,
     gate_threshold,
@@ -35,6 +36,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "Prepared",
     "array_digest",
+    "baseline_missing_rows",
     "calibrate",
     "canonical_json",
     "check_regression",

@@ -30,6 +30,7 @@ __all__ = [
     "gate_threshold",
     "load_result",
     "compare_results",
+    "baseline_missing_rows",
     "render_comparison",
     "check_regression",
 ]
@@ -132,6 +133,33 @@ def compare_results(
                 }
             )
     return rows
+
+
+def baseline_missing_rows(
+    cand: Mapping[str, Any], *, metric: str = "normalized"
+) -> list[dict[str, Any]]:
+    """Rows for a candidate whose baseline file does not exist.
+
+    A newly added family has no committed baseline yet; every candidate
+    benchmark is reported with status ``new`` (no ratio) instead of the
+    comparison failing on the missing file.
+    """
+    if metric not in _METRIC_KEYS:
+        raise BenchError(
+            f"metric must be one of {sorted(_METRIC_KEYS)}, got {metric!r}"
+        )
+    key = _METRIC_KEYS[metric]
+    return [
+        {
+            "benchmark": bench["name"],
+            "base": None,
+            "cand": bench[key],
+            "ratio": None,
+            "delta_pct": None,
+            "status": "new",
+        }
+        for bench in cand["benchmarks"]
+    ]
 
 
 def render_comparison(rows: list[dict[str, Any]], *, title: str) -> str:

@@ -22,6 +22,11 @@ Families
     the Figure 5 + Figure 11 sweeps on a shared trace.  Each timed run
     starts from a cleared evaluation cache so memoization only counts
     within-run wins.
+``workloads``
+    The workload registry's scenario classes: BFS through the engine in
+    both memory modes (the semi-vs-fully fetched-bytes ratio is pinned
+    in ``verify``), incremental BFS maintenance over a seeded edge
+    stream, and a two-tenant co-run on a shared DES pool.
 ``sweep_parallel``
     Executor scaling on the planner's config-grid surface: the same
     build through ``SerialExecutor`` and ``ProcessPoolExecutor(4)``
@@ -527,6 +532,122 @@ def _prep_plan_queries(quick: bool) -> Prepared:
 
 
 # --------------------------------------------------------------------------
+# workloads family
+# --------------------------------------------------------------------------
+
+
+def _prep_semi_vs_fully(quick: bool) -> Prepared:
+    """BFS through the engine in both memory modes on one graph.
+
+    The verify block pins the fetched-bytes ratio between fully- and
+    semi-external placement — the headline saving of keeping vertex
+    state in device memory.
+    """
+    from .. import systems, workloads
+
+    graph = _dataset("urand", 10 if quick else 12, 3)
+    workload = workloads.get("bfs")
+    system = systems.get("emogi")
+    source = default_source(graph)
+
+    def run() -> dict[str, Any]:
+        semi = workload.run(
+            workloads.build_engine(graph, system, memory_mode="semi-external"),
+            source,
+        )
+        fully = workload.run(
+            workloads.build_engine(graph, system, memory_mode="fully-external"),
+            source,
+        )
+        return {
+            "digest": array_digest([semi.values, fully.values]),
+            "semi_fetched_bytes": int(semi.stats.fetched_bytes),
+            "fully_fetched_bytes": int(fully.stats.fetched_bytes),
+            "fetch_ratio": _round(
+                fully.stats.fetched_bytes / semi.stats.fetched_bytes
+            ),
+        }
+
+    return Prepared(
+        name="semi_vs_fully_bfs",
+        family="workloads",
+        params={"dataset": "urand", "scale": graph_scale(graph), "source": source},
+        run=run,
+        work_unit="edges/s",
+        work_amount=2.0 * float(graph.num_edges),
+    )
+
+
+def _prep_streaming_bfs(quick: bool) -> Prepared:
+    """Incremental BFS maintenance over a seeded edge-insertion stream."""
+    from ..workloads import edge_stream, streaming_bfs, streaming_write_traffic
+
+    graph = _dataset("urand", 10 if quick else 12, 3)
+    stream = edge_stream(
+        graph.num_vertices,
+        num_batches=4,
+        batch_size=64 if quick else 256,
+        seed=7,
+    )
+    inserted = sum(batch.size for batch in stream)
+
+    def run() -> dict[str, Any]:
+        result = streaming_bfs(graph, stream)
+        traffic = streaming_write_traffic(result)
+        return {
+            "digest": array_digest([result.values]),
+            "delta_vertices": int(result.delta_vertices),
+            "written_bytes": int(traffic.written_bytes),
+        }
+
+    return Prepared(
+        name="streaming_bfs",
+        family="workloads",
+        params={
+            "dataset": "urand",
+            "scale": graph_scale(graph),
+            "batches": len(stream),
+            "edges_inserted": inserted,
+        },
+        run=run,
+        work_unit="edges/s",
+        work_amount=float(inserted),
+    )
+
+
+def _prep_multi_tenant(quick: bool) -> Prepared:
+    """Two tenants co-running on one shared DES pool."""
+    from ..workloads import TenantSpec, run_multi_tenant
+
+    graph = _dataset("urand", 9 if quick else 11, 3)
+    tenants = [
+        TenantSpec(name="analytics", workload="pagerank", weight=1.0),
+        TenantSpec(name="search", workload="bfs", weight=2.0),
+    ]
+
+    def run() -> dict[str, Any]:
+        report = run_multi_tenant(graph, tenants)
+        return {
+            "fairness": _round(report.fairness),
+            "total_time_us": _round(report.total_time / USEC),
+            "requests": int(sum(t.requests for t in report.tenants)),
+        }
+
+    return Prepared(
+        name="multi_tenant_2",
+        family="workloads",
+        params={
+            "dataset": "urand",
+            "scale": graph_scale(graph),
+            "tenants": [f"{t.name}:{t.workload}:{t.weight:g}" for t in tenants],
+        },
+        run=run,
+        work_unit="tenants/s",
+        work_amount=float(len(tenants)),
+    )
+
+
+# --------------------------------------------------------------------------
 # lint family
 # --------------------------------------------------------------------------
 
@@ -642,6 +763,11 @@ _FAMILIES: dict[str, list[Callable[[bool], Prepared]]] = {
         _prep_plan_queries,
     ],
     "lint": [_prep_lint_cold, _prep_lint_warm],
+    "workloads": [
+        _prep_semi_vs_fully,
+        _prep_streaming_bfs,
+        _prep_multi_tenant,
+    ],
 }
 
 assert set(_FAMILIES) == set(KNOWN_FAMILIES)

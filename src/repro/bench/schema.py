@@ -52,7 +52,15 @@ __all__ = [
 
 SCHEMA_VERSION = "repro.bench/v1"
 
-KNOWN_FAMILIES = ("des", "traversal", "memsim", "sweep", "sweep_parallel", "lint")
+KNOWN_FAMILIES = (
+    "des",
+    "traversal",
+    "memsim",
+    "sweep",
+    "sweep_parallel",
+    "lint",
+    "workloads",
+)
 
 _MACHINE_KEYS = {"python", "numpy", "platform", "cpu_count", "calibration_s"}
 _BENCH_KEYS = {

@@ -5,7 +5,10 @@ Subcommands
 ``stats``
     Print Table-1-style statistics of a (scaled) dataset.
 ``run``
-    Run one (dataset, algorithm, system) experiment and print metrics.
+    Run one (dataset, workload, system) experiment and print metrics;
+    ``--workload`` names a :mod:`repro.workloads` registry entry and
+    ``--memory-mode`` picks the engine's vertex-state placement
+    (``--algorithm`` survives as a deprecated alias).
 ``figure``
     Regenerate a table/figure of the paper (``repro figure figure11``).
 ``requirements``
@@ -27,11 +30,13 @@ Subcommands
     Run the simulation-correctness linter (``repro lint src/``).
 ``profile``
     Run a traced traversal on the functional engine and print the top
-    spans by inclusive time (``repro profile --algorithm bfs``).
+    spans by inclusive time (``repro profile --workload bfs``).
 ``serve``
     Run the traffic-driven serving scenario under a fault storm and
     print the SLO report (``repro serve --fault-storm storm``);
-    ``--controller both`` compares self-healing on vs off.
+    ``--controller both`` compares self-healing on vs off, and
+    ``--tenant-mix 'a=0.7,b=0.3'`` adds per-tenant attainment and
+    fairness accounting.
 ``bench``
     Run the benchmark harness and write ``BENCH_<family>.json`` files
     (``repro bench --families des traversal``); ``--compare A B`` diffs
@@ -55,6 +60,7 @@ from .core.experiment import run_experiment
 from .core.report import format_table
 from .core.requirements import requirements_for
 from .errors import ReproError
+from .exec.spec import KNOWN_ALGORITHMS, KNOWN_MEMORY_MODES
 from .graph.datasets import DEFAULT_SCALE, load_dataset
 from .graph.stats import graph_stats
 from .interconnect.pcie import PCIeLink
@@ -80,7 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     _add_dataset_args(run)
     run.add_argument(
-        "--algorithm", default="bfs", choices=["bfs", "sssp", "cc", "pagerank"]
+        "--workload", default=None, choices=list(KNOWN_ALGORITHMS),
+        help="workload registry name (repro.workloads); supersedes "
+        "--algorithm",
+    )
+    run.add_argument(
+        "--algorithm", default="bfs", choices=list(KNOWN_ALGORITHMS),
+        help="deprecated alias for --workload",
+    )
+    run.add_argument(
+        "--memory-mode", default="semi-external",
+        choices=list(KNOWN_MEMORY_MODES),
+        help="engine vertex-state placement; fully-external also runs "
+        "the functional engine and reports the extra fetched bytes",
     )
     run.add_argument(
         "--system",
@@ -219,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, metavar="K",
         help="how many Pareto-ranked candidates to print (default 5)",
     )
+    plan.add_argument(
+        "--workload", default=None, choices=list(KNOWN_ALGORITHMS),
+        help="scale the surface's reference runtimes by this workload's "
+        "access-signature traffic multiplier",
+    )
     _add_executor_args(plan)
 
     chase = sub.add_parser("chase", help="pointer-chase latency microbenchmark")
@@ -306,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean arrival rate before modulation (default 800)",
     )
     serve.add_argument(
+        "--tenant-mix", default=None, metavar="NAME=W,NAME=W",
+        help="tag queries with tenants drawn from these weights "
+        "(e.g. 'analytics=0.7,search=0.3'); the report gains per-tenant "
+        "attainment and a Jain fairness index",
+    )
+    serve.add_argument(
         "--system",
         default="xlfdd",
         choices=systems.available(),
@@ -368,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", default="normalized", choices=["normalized", "raw"],
         help="compare machine-normalized times (default) or raw seconds",
     )
+    bench.add_argument(
+        "--allow-new", action="store_true",
+        help="with --check: pass when the baseline file is missing "
+        "(a newly added family has no committed baseline yet); "
+        "--compare always tolerates a missing baseline",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -375,7 +410,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_args(profile)
     profile.add_argument(
-        "--algorithm", default="bfs", choices=["bfs", "sssp", "cc"]
+        "--workload", default=None, choices=list(KNOWN_ALGORITHMS),
+        help="workload registry name; supersedes --algorithm",
+    )
+    profile.add_argument(
+        "--algorithm", default="bfs", choices=list(KNOWN_ALGORITHMS),
+        help="deprecated alias for --workload",
+    )
+    profile.add_argument(
+        "--memory-mode", default="semi-external",
+        choices=list(KNOWN_MEMORY_MODES),
+        help="engine vertex-state placement",
     )
     profile.add_argument(
         "--system",
@@ -472,6 +517,9 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _run_experiment_body(args: argparse.Namespace, graph, system) -> str:
+    workload_name = (
+        args.workload if args.workload is not None else args.algorithm
+    )
     fault_mode = (
         args.fault_seed is not None
         or args.fault_read_error_rate > 0
@@ -486,7 +534,10 @@ def _run_experiment_body(args: argparse.Namespace, graph, system) -> str:
             drop_device_at=args.fault_drop_device_at,
         )
         policy = RetryPolicy(max_attempts=args.fault_max_attempts)
-        result = run_fault_experiment(graph, args.algorithm, system, plan, policy)
+        result = run_fault_experiment(
+            graph, workload_name, system, plan, policy,
+            memory_mode=args.memory_mode,
+        )
         return "\n".join(
             [
                 plan.describe()
@@ -497,8 +548,31 @@ def _run_experiment_body(args: argparse.Namespace, graph, system) -> str:
                 format_table([result.as_row()], title=system.describe()),
             ]
         )
-    result = run_experiment(graph, args.algorithm, system)
-    return format_table([result.as_row()], title=system.describe())
+    result = run_experiment(graph, workload_name, system)
+    output = format_table([result.as_row()], title=system.describe())
+    if args.memory_mode != "semi-external":
+        from . import workloads
+
+        workload = workloads.get(workload_name)
+        graph = workload.prepare(graph)
+        semi = workload.run(
+            workloads.build_engine(graph, system, memory_mode="semi-external")
+        )
+        fully = workload.run(
+            workloads.build_engine(graph, system, memory_mode=args.memory_mode)
+        )
+        ratio = (
+            fully.stats.fetched_bytes / semi.stats.fetched_bytes
+            if semi.stats.fetched_bytes
+            else 1.0
+        )
+        output += (
+            f"\nmemory mode {args.memory_mode}: "
+            f"{fully.stats.fetched_bytes:,} B fetched vs "
+            f"{semi.stats.fetched_bytes:,} B semi-external "
+            f"({ratio:.3f}x)"
+        )
+    return output
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:
@@ -665,6 +739,7 @@ def _cmd_plan(args: argparse.Namespace):
         slo_runtime_s=slo_s,
         link=args.link,
         top=args.top,
+        workload=args.workload,
     )
     slo_text = f", SLO {args.slo_ms:g} ms" if slo_s is not None else ""
     if not rows:
@@ -802,9 +877,8 @@ def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
 
 
 def _cmd_profile(args: argparse.Namespace) -> str:
+    from . import workloads
     from .core.experiment import default_source
-    from .engine.engine import ExternalGraphEngine
-    from .faults.experiment import backend_factory_for
     from .telemetry import (
         Tracer,
         render_flamegraph,
@@ -812,21 +886,20 @@ def _cmd_profile(args: argparse.Namespace) -> str:
         use_tracer,
     )
 
+    name = args.workload if args.workload is not None else args.algorithm
+    workload = workloads.get(name)
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     system = systems.get(args.system)
-    if args.algorithm == "sssp" and not graph.is_weighted:
-        graph = graph.with_uniform_random_weights(seed=0)
+    graph = workload.prepare(graph)
     tracer = Tracer()
     with use_tracer(tracer):
-        engine = ExternalGraphEngine(graph, backend_factory_for(system))
-        if args.algorithm == "bfs":
-            run = engine.bfs(default_source(graph))
-        elif args.algorithm == "sssp":
-            run = engine.sssp(default_source(graph))
-        else:
-            run = engine.connected_components()
+        engine = workloads.build_engine(
+            graph, system, memory_mode=args.memory_mode
+        )
+        run = workload.run(engine, default_source(graph))
     parts = [
-        f"{args.algorithm} on {graph.name} via {system.name}: "
+        f"{name} on {graph.name} via {system.name} "
+        f"({args.memory_mode}): "
         f"{run.steps} steps, {run.stats.fetched_bytes:,} B fetched "
         f"(RAF {run.stats.read_amplification:.2f})",
         "",
@@ -840,7 +913,10 @@ def _cmd_profile(args: argparse.Namespace) -> str:
 
 
 def _cmd_bench(args: argparse.Namespace) -> tuple[str, int]:
+    from pathlib import Path
+
     from .bench import (
+        baseline_missing_rows,
         check_regression,
         compare_results,
         load_result,
@@ -854,6 +930,20 @@ def _cmd_bench(args: argparse.Namespace) -> tuple[str, int]:
     if args.compare and args.check:
         return "error: --compare and --check are mutually exclusive", 2
     if args.compare:
+        base_path, cand_path = args.compare
+        if not Path(base_path).is_file():
+            cand = load_result(cand_path)
+            rows = baseline_missing_rows(cand, metric=args.metric)
+            title = (
+                f"{cand['family']}: {base_path} (missing baseline) vs "
+                f"{cand_path} ({args.metric})"
+            )
+            output = render_comparison(rows, title=title)
+            output += (
+                "\nbaseline not found: all candidate benchmarks reported "
+                "as new"
+            )
+            return output, 0
         base, cand = (load_result(p) for p in args.compare)
         rows = compare_results(base, cand, metric=args.metric)
         title = (
@@ -862,6 +952,28 @@ def _cmd_bench(args: argparse.Namespace) -> tuple[str, int]:
         )
         return render_comparison(rows, title=title), 0
     if args.check:
+        base_path, cand_path = args.check
+        if not Path(base_path).is_file():
+            # The gate stays strict by default: a vanished baseline must
+            # not silently pass.  --allow-new opts a new family in.
+            cand = load_result(cand_path)
+            rows = baseline_missing_rows(cand, metric=args.metric)
+            title = (
+                f"{cand['family']} regression gate: {base_path} "
+                f"(missing baseline) vs {cand_path} ({args.metric})"
+            )
+            output = render_comparison(rows, title=title)
+            if args.allow_new:
+                output += (
+                    "\ngate passed: no baseline for this family yet "
+                    "(--allow-new)"
+                )
+                return output, 0
+            output += (
+                f"\nGATE FAILED: baseline {base_path} not found; pass "
+                "--allow-new if this family is newly added"
+            )
+            return output, 1
         base, cand = (load_result(p) for p in args.check)
         ok, rows = check_regression(
             base, cand, threshold=args.threshold, metric=args.metric
@@ -886,6 +998,29 @@ def _cmd_bench(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(f"wrote {p}" for p in paths), 0
 
 
+def _parse_tenant_mix(text: str | None) -> dict[str, float]:
+    """Parse ``--tenant-mix 'a=0.7,b=0.3'`` into a weight mapping."""
+    if not text:
+        return {}
+    from .errors import ConfigError
+
+    tenants: dict[str, float] = {}
+    for part in text.split(","):
+        name, sep, weight = part.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ConfigError(
+                f"--tenant-mix expects NAME=WEIGHT pairs, got {part!r}"
+            )
+        try:
+            tenants[name] = float(weight)
+        except ValueError as exc:
+            raise ConfigError(
+                f"--tenant-mix weight for {name!r} is not a number: {weight!r}"
+            ) from exc
+    return tenants
+
+
 def _serve_report_path(base: str, mode: str) -> str:
     """``slo.json`` -> ``slo.on.json`` when both modes write artifacts."""
     from pathlib import Path
@@ -907,7 +1042,10 @@ def _cmd_serve(args: argparse.Namespace) -> tuple[str, int]:
     from .telemetry import NULL_TRACER, Tracer, use_tracer
 
     config = ServingConfig(duration=args.duration, slo_p99=args.slo_p99 * USEC)
-    traffic = TrafficModel(seed=args.seed, base_rate=args.base_rate)
+    tenants = _parse_tenant_mix(args.tenant_mix)
+    traffic = TrafficModel(
+        seed=args.seed, base_rate=args.base_rate, tenants=tenants
+    )
     storm = named_storm(args.fault_storm, seed=args.seed)
     modes = {"on": [True], "off": [False], "both": [True, False]}[args.controller]
     tracer = Tracer() if args.trace else NULL_TRACER

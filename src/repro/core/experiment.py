@@ -31,10 +31,6 @@ from ..gpu.zerocopy import ZeroCopyMethod
 from ..graph.csr import CSRGraph
 from ..interconnect.pcie import PCIeLink
 from ..telemetry.tracer import get_tracer
-from ..traversal.bfs import bfs
-from ..traversal.cc import connected_components
-from ..traversal.pagerank import pagerank
-from ..traversal.sssp import sssp_bellman_ford
 from ..traversal.trace import AccessTrace
 from ..units import to_mb_per_s, to_usec
 from .runtime_model import RuntimeResult, SystemModel, predict_runtime
@@ -229,14 +225,6 @@ def uvm_system(
     )
 
 
-_ALGORITHMS = {
-    "bfs": lambda graph, source: bfs(graph, source).trace,
-    "sssp": lambda graph, source: sssp_bellman_ford(graph, source).trace,
-    "cc": lambda graph, source: connected_components(graph).trace,
-    "pagerank": lambda graph, source: pagerank(graph).trace,
-}
-
-
 def default_source(graph: CSRGraph) -> int:
     """A robust traversal source: the highest-degree vertex.
 
@@ -256,22 +244,27 @@ def default_source(graph: CSRGraph) -> int:
 def run_algorithm(
     graph: CSRGraph, algorithm: str, source: int | None = None
 ) -> AccessTrace:
-    """Run a traversal by name and return its access trace.
+    """Run a workload by name and return its access trace.
 
+    Dispatches through the :mod:`repro.workloads` registry (all eight
+    workloads are runnable here, not just the original four).
     ``source=None`` uses :func:`default_source`.  SSSP auto-attaches
     uniform random weights when the graph is unweighted (the standard
-    benchmark setup).
+    benchmark setup, via :meth:`~repro.workloads.Workload.prepare`).
     """
+    from .. import workloads
+    from ..errors import WorkloadError
+
     algorithm = algorithm.lower()
-    if algorithm not in _ALGORITHMS:
+    try:
+        workload = workloads.get(algorithm)
+    except WorkloadError as exc:
         raise ModelError(
-            f"unknown algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
-        )
+            f"unknown algorithm {algorithm!r}; available: {workloads.available()}"
+        ) from exc
     if source is None:
         source = default_source(graph)
-    if algorithm == "sssp" and not graph.is_weighted:
-        graph = graph.with_uniform_random_weights(seed=0)
-    return _ALGORITHMS[algorithm](graph, source)
+    return workload.trace(graph, source)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,13 @@ from .backend import (
     CachedBackend,
     ZeroCopyBackend,
 )
-from .engine import ExternalGraphEngine
+from .engine import (
+    FULLY_EXTERNAL,
+    MEMORY_MODES,
+    SEMI_EXTERNAL,
+    EngineRun,
+    ExternalGraphEngine,
+)
 
 __all__ = [
     "MemoryStats",
@@ -30,4 +36,8 @@ __all__ = [
     "CachedBackend",
     "ZeroCopyBackend",
     "ExternalGraphEngine",
+    "EngineRun",
+    "SEMI_EXTERNAL",
+    "FULLY_EXTERNAL",
+    "MEMORY_MODES",
 ]

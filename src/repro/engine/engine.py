@@ -1,36 +1,69 @@
 """The external-memory graph engine: traversal over a byte backend.
 
 Mirrors the paper's system structure (Section 2.1): the vertex list
-(``indptr``) and all per-vertex state live "in GPU memory" (plain numpy
-arrays); the edge list's *bytes* live behind an
-:class:`~repro.engine.backend.ExternalMemoryBackend` and every neighbor
+(``indptr``) lives "in GPU memory" (plain numpy arrays) and the edge
+list's *bytes* live behind an
+:class:`~repro.engine.backend.ExternalMemoryBackend`; every neighbor
 access goes through its ``read`` API.  Algorithms therefore produce both
 their results *and* a measured traffic profile — which the test suite
 cross-checks against the in-memory algorithms and the analytic models.
+
+Two :data:`MEMORY_MODES` control where per-vertex *state* (depths,
+labels, ranks, ...) lives:
+
+* ``"semi-external"`` (default, FlashGraph-style): vertex state is
+  pinned in simulated DRAM; only edge-list reads hit the backend.  This
+  is the configuration every earlier figure used.
+* ``"fully-external"``: a vertex-state region follows the edge records
+  on the backend, and kernels fetch the 8-byte state slot of every
+  vertex they touch through the same ``read`` path, so RAF/cache
+  accounting sees the extra fine-grained traffic.
+
+The algorithm kernels themselves live in :mod:`repro.workloads.kernels`
+and are dispatched through the :mod:`repro.workloads` registry; the
+``bfs``/``sssp``/``connected_components`` methods below remain as
+:class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import VERTEX_ID_BYTES
-from ..errors import DeviceError, TraceError
+from ..errors import ConfigError, DeviceError, TraceError
 from ..graph.csr import CSRGraph
-from ..telemetry.tracer import get_tracer
 from .backend import ExternalMemoryBackend, MemoryStats
 
-__all__ = ["ExternalGraphEngine"]
+__all__ = [
+    "SEMI_EXTERNAL",
+    "FULLY_EXTERNAL",
+    "MEMORY_MODES",
+    "EngineRun",
+    "ExternalGraphEngine",
+]
+
+#: Vertex state in simulated DRAM; only edge reads hit the backend.
+SEMI_EXTERNAL = "semi-external"
+#: Vertex state lives on the backend too; kernels fetch it per touch.
+FULLY_EXTERNAL = "fully-external"
+#: All supported engine memory modes.
+MEMORY_MODES = (SEMI_EXTERNAL, FULLY_EXTERNAL)
 
 
 @dataclass(frozen=True)
-class _EngineRun:
+class EngineRun:
     """Result bundle of one engine execution."""
 
     values: np.ndarray
     steps: int
     stats: MemoryStats
+
+
+#: Backwards-compatible alias (the bundle predates the public name).
+_EngineRun = EngineRun
 
 
 class ExternalGraphEngine:
@@ -44,14 +77,24 @@ class ExternalGraphEngine:
     backend_factory:
         Callable building a backend from raw bytes, e.g.
         ``lambda data: DirectBackend(data, alignment_bytes=16)``.
+    memory_mode:
+        One of :data:`MEMORY_MODES`; see the module docstring.
 
     Weighted graphs interleave each edge's weight with its target ID
     (16 B per edge), so one sublist read returns both — matching how an
     SSSP kernel would lay out its edge records.
     """
 
-    def __init__(self, graph: CSRGraph, backend_factory) -> None:
+    def __init__(
+        self, graph: CSRGraph, backend_factory, *, memory_mode: str = SEMI_EXTERNAL
+    ) -> None:
+        if memory_mode not in MEMORY_MODES:
+            raise ConfigError(
+                f"unknown memory mode {memory_mode!r}; "
+                f"choose from {', '.join(MEMORY_MODES)}"
+            )
         self.graph = graph
+        self.memory_mode = memory_mode
         self._weighted = graph.is_weighted
         self._record_bytes = VERTEX_ID_BYTES * (2 if self._weighted else 1)
         if self._weighted:
@@ -61,8 +104,20 @@ class ExternalGraphEngine:
             payload = records.tobytes()
         else:
             payload = graph.indices.tobytes()
+        self._state_base = graph.num_edges * self._record_bytes
+        expected = self._state_base
+        if memory_mode == FULLY_EXTERNAL:
+            # The vertex-state region follows the edge records; its
+            # initial contents are irrelevant (kernels only measure the
+            # traffic of fetching the slots), so zeros suffice.
+            payload = payload + np.zeros(graph.num_vertices, dtype=np.int64).tobytes()
+            expected += graph.num_vertices * VERTEX_ID_BYTES
         self.backend: ExternalMemoryBackend = backend_factory(payload)
-        if self.backend.size_bytes != graph.num_edges * self._record_bytes:
+        if self.backend.size_bytes != expected:
+            if memory_mode == FULLY_EXTERNAL:
+                raise DeviceError(
+                    "backend does not hold the edge list plus vertex state"
+                )
             raise DeviceError("backend does not hold the full edge list")
 
     # -- low-level access ----------------------------------------------------
@@ -98,106 +153,51 @@ class ExternalGraphEngine:
         sources = np.repeat(frontier, self.graph.degrees[frontier])
         return neighbors, sources, weights
 
-    # -- algorithms -------------------------------------------------------------
+    def touch_vertex_state(self, vertices: np.ndarray) -> int:
+        """Fetch the state slots of ``vertices`` in fully-external mode.
 
-    def bfs(self, source: int = 0) -> _EngineRun:
-        """Level-synchronous BFS through the backend; returns depths."""
-        n = self.graph.num_vertices
-        if not 0 <= source < n:
-            raise TraceError(f"source {source} out of range [0, {n})")
-        self.backend.reset_stats()
-        depths = np.full(n, -1, dtype=np.int64)
-        depths[source] = 0
-        frontier = np.array([source], dtype=np.int64)
-        # Reused mask-dedupe of the next frontier (no per-level sort).
-        discovered = np.zeros(n, dtype=bool)
-        steps = 0
-        tracer = get_tracer()
-        with tracer.span("engine.bfs", source=source, vertices=n):
-            while frontier.size:
-                with tracer.span("engine.step") as step_span:
-                    fetched = self.backend.stats.fetched_bytes
-                    neighbors, _, _ = self.read_neighbors(frontier)
-                    self.backend.end_step()
-                    if tracer.enabled:
-                        step_span.set(
-                            step=steps,
-                            frontier_size=int(frontier.size),
-                            bytes_read=self.backend.stats.fetched_bytes - fetched,
-                        )
-                    steps += 1
-                    unseen = neighbors[depths[neighbors] < 0]
-                    depths[unseen] = steps
-                    discovered[unseen] = True
-                    frontier = np.flatnonzero(discovered)
-                    discovered[frontier] = False
-        return _EngineRun(values=depths, steps=steps, stats=self.backend.stats)
+        A no-op under ``"semi-external"`` (state is DRAM-resident).
+        Returns the number of state bytes requested, so kernels can
+        report the semi- vs fully-external traffic split.
+        """
+        if self.memory_mode != FULLY_EXTERNAL:
+            return 0
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        if vertices.min() < 0 or vertices.max() >= self.graph.num_vertices:
+            raise TraceError("vertex state touch is out of range")
+        starts = self._state_base + vertices * VERTEX_ID_BYTES
+        lengths = np.full(vertices.size, VERTEX_ID_BYTES, dtype=np.int64)
+        self.backend.read(starts, lengths)
+        return int(lengths.sum())
 
-    def sssp(self, source: int = 0) -> _EngineRun:
-        """Frontier Bellman-Ford through the backend; returns distances."""
-        if not self._weighted:
-            raise TraceError("sssp requires a weighted graph")
-        n = self.graph.num_vertices
-        if not 0 <= source < n:
-            raise TraceError(f"source {source} out of range [0, {n})")
-        self.backend.reset_stats()
-        dist = np.full(n, np.inf)
-        dist[source] = 0.0
-        frontier = np.array([source], dtype=np.int64)
-        changed = np.zeros(n, dtype=bool)
-        steps = 0
-        tracer = get_tracer()
-        with tracer.span("engine.sssp", source=source, vertices=n):
-            while frontier.size:
-                with tracer.span("engine.step") as step_span:
-                    fetched = self.backend.stats.fetched_bytes
-                    neighbors, sources, weights = self.read_neighbors(frontier)
-                    self.backend.end_step()
-                    if tracer.enabled:
-                        step_span.set(
-                            step=steps,
-                            frontier_size=int(frontier.size),
-                            bytes_read=self.backend.stats.fetched_bytes - fetched,
-                        )
-                    steps += 1
-                    if neighbors.size == 0:
-                        break
-                    candidate = dist[sources] + weights
-                    before = dist[neighbors].copy()
-                    np.minimum.at(dist, neighbors, candidate)
-                    # Mask-dedupe the improved set (no per-round sort).
-                    changed[neighbors[dist[neighbors] < before]] = True
-                    frontier = np.flatnonzero(changed)
-                    changed[frontier] = False
-        return _EngineRun(values=dist, steps=steps, stats=self.backend.stats)
+    # -- deprecated per-algorithm entry points -------------------------------
+    #
+    # The kernels moved to repro.workloads (imported lazily: workloads
+    # imports this module at its top level).  These shims keep every old
+    # call site working, byte-for-byte, under a DeprecationWarning.
 
-    def connected_components(self) -> _EngineRun:
-        """Label propagation through the backend; returns labels."""
-        n = self.graph.num_vertices
-        self.backend.reset_stats()
-        labels = np.arange(n, dtype=np.int64)
-        frontier = np.arange(n, dtype=np.int64)
-        changed = np.zeros(n, dtype=bool)
-        steps = 0
-        tracer = get_tracer()
-        with tracer.span("engine.cc", vertices=n):
-            while frontier.size:
-                with tracer.span("engine.step") as step_span:
-                    fetched = self.backend.stats.fetched_bytes
-                    neighbors, sources, _ = self.read_neighbors(frontier)
-                    self.backend.end_step()
-                    if tracer.enabled:
-                        step_span.set(
-                            step=steps,
-                            frontier_size=int(frontier.size),
-                            bytes_read=self.backend.stats.fetched_bytes - fetched,
-                        )
-                    steps += 1
-                    if neighbors.size == 0:
-                        break
-                    before = labels[neighbors].copy()
-                    np.minimum.at(labels, neighbors, labels[sources])
-                    changed[neighbors[labels[neighbors] < before]] = True
-                    frontier = np.flatnonzero(changed)
-                    changed[frontier] = False
-        return _EngineRun(values=labels, steps=steps, stats=self.backend.stats)
+    def _run_workload(self, name: str, source: int | None) -> EngineRun:
+        warnings.warn(
+            f"ExternalGraphEngine.{'connected_components' if name == 'cc' else name}()"
+            " is deprecated; use repro.workloads.get("
+            f"{name!r}).run(engine, source=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        from .. import workloads
+
+        return workloads.get(name).run(self, source=source)
+
+    def bfs(self, source: int = 0) -> EngineRun:
+        """Deprecated: ``repro.workloads.get("bfs").run(engine, source=...)``."""
+        return self._run_workload("bfs", source)
+
+    def sssp(self, source: int = 0) -> EngineRun:
+        """Deprecated: ``repro.workloads.get("sssp").run(engine, source=...)``."""
+        return self._run_workload("sssp", source)
+
+    def connected_components(self) -> EngineRun:
+        """Deprecated: ``repro.workloads.get("cc").run(engine)``."""
+        return self._run_workload("cc", None)

@@ -21,6 +21,7 @@ __all__ = [
     "PoolExhaustedError",
     "SimulationError",
     "ModelError",
+    "WorkloadError",
     "TelemetryError",
     "BenchError",
     "SpecError",
@@ -103,6 +104,16 @@ class SimulationError(ReproError, RuntimeError):
 
 class ModelError(ReproError, ValueError):
     """An analytical-model query has no solution or invalid inputs."""
+
+
+class WorkloadError(ModelError):
+    """A workload registry lookup or registration is invalid.
+
+    Subclasses :class:`ModelError` so callers that predate the
+    :mod:`repro.workloads` registry (``except ModelError``) keep
+    catching unknown-algorithm failures.  The message always lists the
+    valid workload names.
+    """
 
 
 class TelemetryError(ReproError, ValueError):

@@ -35,6 +35,7 @@ from .spec import (
     SweepConfig,
     SystemSpec,
     TrafficSpec,
+    WorkloadSpec,
 )
 from .yamlspec import LoadedSpec, deep_merge, load_spec, parse_spec_document
 
@@ -44,6 +45,7 @@ __all__ = [
     "SystemSpec",
     "FaultSpec",
     "TrafficSpec",
+    "WorkloadSpec",
     "SweepAxis",
     "SweepConfig",
     "LoadedSpec",

@@ -35,13 +35,26 @@ __all__ = [
     "SystemSpec",
     "FaultSpec",
     "TrafficSpec",
+    "WorkloadSpec",
     "ExperimentSpec",
     "SweepAxis",
     "SweepConfig",
 ]
 
-#: Algorithms a spec may name (the trace-producing traversals).
-KNOWN_ALGORITHMS = ("bfs", "sssp", "cc", "pagerank")
+#: Algorithms a spec may name (every :mod:`repro.workloads` entry).
+KNOWN_ALGORITHMS = (
+    "bfs",
+    "sssp",
+    "cc",
+    "pagerank",
+    "kcore",
+    "triangle_count",
+    "label_propagation",
+    "random_walk",
+)
+
+#: Engine memory modes a workload section may name.
+KNOWN_MEMORY_MODES = ("semi-external", "fully-external")
 
 #: Link generations a spec may name (``None`` keeps the factory default).
 KNOWN_LINKS = ("gen3", "gen4", "gen5")
@@ -185,6 +198,47 @@ class TrafficSpec:
 
 
 @dataclass(frozen=True)
+class WorkloadSpec:
+    """Optional workload section: registry name, memory mode, options.
+
+    ``name`` must be a :mod:`repro.workloads` registry entry;
+    ``memory_mode`` picks the engine placement (``"semi-external"``
+    keeps vertex state in device memory, ``"fully-external"`` reads it
+    through the backend too); ``options`` forwards to the workload's
+    kernel/trace callables (e.g. the ``k`` of k-core).
+    """
+
+    name: str = "bfs"
+    memory_mode: str = "semi-external"
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in KNOWN_ALGORITHMS:
+            raise SpecError(
+                f"workload.name must be one of {', '.join(KNOWN_ALGORITHMS)}, "
+                f"got {self.name!r}"
+            )
+        if self.memory_mode not in KNOWN_MEMORY_MODES:
+            raise SpecError(
+                "workload.memory_mode must be one of "
+                f"{', '.join(KNOWN_MEMORY_MODES)}, got {self.memory_mode!r}"
+            )
+        opts = _require_mapping(self.options, "workload.options")
+        for key in opts:
+            if not isinstance(key, str) or not key.isidentifier():
+                raise SpecError(
+                    f"workload.options keys must be identifiers, got {key!r}"
+                )
+        object.__setattr__(self, "options", dict(opts))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        data = _require_mapping(data, "workload")
+        _reject_unknown(data, _field_names(cls), "workload")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """The one declarative input type for sweeps, suites, and the planner.
 
@@ -199,6 +253,7 @@ class ExperimentSpec:
     source: int | None = None
     fault: FaultSpec | None = None
     traffic: TrafficSpec | None = None
+    workload: WorkloadSpec | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in KNOWN_ALGORITHMS:
@@ -210,6 +265,16 @@ class ExperimentSpec:
             not isinstance(self.source, int) or self.source < 0
         ):
             raise SpecError("source must be a non-negative integer or null")
+
+    @property
+    def effective_algorithm(self) -> str:
+        """The workload name to run: ``workload.name`` when present.
+
+        The ``workload:`` section supersedes the flat ``algorithm``
+        field; pre-existing specs (no section) keep their exact
+        behaviour and fingerprint.
+        """
+        return self.workload.name if self.workload is not None else self.algorithm
 
     # -- serialization ----------------------------------------------------
 
@@ -225,6 +290,8 @@ class ExperimentSpec:
             out["fault"] = dataclasses.asdict(self.fault)
         if self.traffic is not None:
             out["traffic"] = dataclasses.asdict(self.traffic)
+        if self.workload is not None:
+            out["workload"] = dataclasses.asdict(self.workload)
         return out
 
     @classmethod
@@ -245,6 +312,8 @@ class ExperimentSpec:
             kwargs["fault"] = FaultSpec.from_dict(data["fault"])
         if data.get("traffic") is not None:
             kwargs["traffic"] = TrafficSpec.from_dict(data["traffic"])
+        if data.get("workload") is not None:
+            kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
         return cls(**kwargs)
 
     # -- overrides --------------------------------------------------------

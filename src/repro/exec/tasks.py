@@ -89,7 +89,7 @@ def evaluate_sweep_point(item: Mapping[str, Any]) -> dict[str, Any]:
         spec.graph.dataset,
         spec.graph.scale,
         spec.graph.seed,
-        spec.algorithm,
+        spec.effective_algorithm,
         spec.source,
     )
     result = predict_runtime(trace, spec.resolve_system())

@@ -23,7 +23,7 @@ from ..engine.backend import (
     MemoryStats,
     ZeroCopyBackend,
 )
-from ..engine.engine import ExternalGraphEngine
+from ..engine.engine import SEMI_EXTERNAL, ExternalGraphEngine
 from ..errors import ModelError
 from ..gpu.bam import BaMMethod
 from ..gpu.xlfdd_driver import XLFDDMethod
@@ -106,6 +106,7 @@ def run_fault_experiment(
     *,
     source: int | None = None,
     failure_threshold: int = 3,
+    memory_mode: str = SEMI_EXTERNAL,
 ) -> FaultExperimentResult:
     """Run ``algorithm`` under ``plan`` on ``system``'s discipline.
 
@@ -116,19 +117,19 @@ def run_fault_experiment(
     May raise :class:`~repro.errors.FaultExhaustedError` when the plan
     overwhelms the retry budget — that is the experiment's result too.
     """
+    from .. import workloads
+    from ..errors import WorkloadError
+
     policy = policy if policy is not None else RetryPolicy()
     algorithm = algorithm.lower()
-    runners = {
-        "bfs": lambda e, s: e.bfs(s),
-        "sssp": lambda e, s: e.sssp(s),
-        "cc": lambda e, s: e.connected_components(),
-    }
-    if algorithm not in runners:
+    try:
+        workload = workloads.get(algorithm)
+    except WorkloadError as exc:
         raise ModelError(
-            f"fault experiments support {sorted(runners)}, got {algorithm!r}"
-        )
-    if algorithm == "sssp" and not graph.is_weighted:
-        graph = graph.with_uniform_random_weights(seed=0)
+            f"fault experiments support {workloads.available()}, "
+            f"got {algorithm!r}"
+        ) from exc
+    graph = workload.prepare(graph)
     if source is None:
         source = default_source(graph)
 
@@ -144,8 +145,9 @@ def run_fault_experiment(
             pool=system.pool,
             failure_threshold=failure_threshold,
         ),
+        memory_mode=memory_mode,
     )
-    run = runners[algorithm](engine, source)
+    run = workload.run(engine, source)
     backend: FaultyBackend = engine.backend  # type: ignore[assignment]
 
     trace = run_algorithm(graph, algorithm, source=source)

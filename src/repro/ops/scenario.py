@@ -42,6 +42,7 @@ from ..telemetry.clock import SimClock
 from ..telemetry.metrics import MetricRegistry, set_registry
 from ..telemetry.tracer import get_tracer
 from ..units import MIB, MSEC, USEC
+from ..workloads.tenancy import jain_fairness
 from .controller import ControllerPolicy, ServingController
 from .slo import Incident, SloReport, percentiles_us
 from .storm import FaultStorm
@@ -342,6 +343,15 @@ class ServingScenario:
         incidents: list[Incident] = []
         incident_start: list[float | None] = [None]
         window: deque[tuple[float, float]] = deque()
+        # Per-tenant ledgers, kept only when the traffic model mixes
+        # tenants (the default single-tenant path stays untouched).
+        track_tenants = bool(self.traffic.tenants)
+        tenant_arrived: dict[str, int] = {t: 0 for t in self.traffic.tenants}
+        tenant_completed: dict[str, int] = {t: 0 for t in self.traffic.tenants}
+        tenant_attained: dict[str, int] = {t: 0 for t in self.traffic.tenants}
+        tenant_latencies: dict[str, list[float]] = {
+            t: [] for t in self.traffic.tenants
+        }
 
         controller = (
             ServingController(self, self._policy, config.slo_p99)
@@ -376,8 +386,13 @@ class ServingScenario:
             self.registry.histogram("ops.query.latency_us").observe(
                 latency / USEC
             )
+            if track_tenants:
+                tenant_completed[query.tenant] += 1
+                tenant_latencies[query.tenant].append(latency)
             if latency <= config.slo_p99:
                 attained[0] += 1
+                if track_tenants:
+                    tenant_attained[query.tenant] += 1
             else:
                 counters["deadline_misses"].inc()
             for device in members:
@@ -399,6 +414,8 @@ class ServingScenario:
 
         def arrive(query: Query) -> None:
             counters["arrived"].inc()
+            if track_tenants:
+                tenant_arrived[query.tenant] += 1
             if controller is not None and not controller.admit(sim.now):
                 counters["shed_admission"].inc()
                 self._event("ops.shed", query=query.id, kind="admission")
@@ -470,6 +487,25 @@ class ServingScenario:
         if incident_start[0] is not None:
             incidents.append(Incident(start=incident_start[0], end=end))
         p50, p99, p999, mean = percentiles_us(latencies)
+        tenant_stats: dict[str, dict[str, float]] = {}
+        tenant_fairness = 1.0
+        if track_tenants:
+            for name in sorted(tenant_arrived):
+                t50, t99, t999, tmean = percentiles_us(tenant_latencies[name])
+                arrived_t = tenant_arrived[name]
+                tenant_stats[name] = {
+                    "arrived": float(arrived_t),
+                    "completed": float(tenant_completed[name]),
+                    "attained": float(tenant_attained[name]),
+                    "attainment": (
+                        tenant_attained[name] / arrived_t if arrived_t else 1.0
+                    ),
+                    "latency_p99_us": t99,
+                    "latency_mean_us": tmean,
+                }
+            tenant_fairness = jain_fairness(
+                [tenant_stats[n]["attainment"] for n in sorted(tenant_stats)]
+            )
         return SloReport(
             duration=config.duration,
             slo_p99=config.slo_p99,
@@ -489,6 +525,8 @@ class ServingScenario:
             incidents=tuple(incidents),
             controller_actions=dict(controller.actions) if controller else {},
             health_events=tuple(e.describe() for e in self.tracker.events),
+            tenants=tenant_stats,
+            tenant_fairness=tenant_fairness,
         )
 
 

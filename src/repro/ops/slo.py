@@ -62,6 +62,8 @@ class SloReport:
     incidents: tuple[Incident, ...] = ()
     controller_actions: dict[str, int] = field(default_factory=dict)
     health_events: tuple[str, ...] = ()
+    tenants: dict[str, dict[str, float]] = field(default_factory=dict)
+    tenant_fairness: float = 1.0
 
     def __post_init__(self) -> None:
         if self.arrived < 0 or self.completed < 0 or self.attained < 0:
@@ -142,6 +144,13 @@ class SloReport:
             ),
             controller_actions=dict(data["controller_actions"]),
             health_events=tuple(data["health_events"]),
+            # Trailing fields appeared after the first report format;
+            # tolerate their absence in older files.
+            tenants={
+                name: dict(stats)
+                for name, stats in data.get("tenants", {}).items()
+            },
+            tenant_fairness=data.get("tenant_fairness", 1.0),
         )
 
     def describe(self) -> str:
@@ -168,6 +177,19 @@ class SloReport:
                 f"{k}={v}" for k, v in sorted(self.controller_actions.items())
             )
             lines.append(f"  controller actions: {acts}")
+        if self.tenants:
+            lines.append(
+                f"  tenant fairness (Jain over attainment): "
+                f"{self.tenant_fairness:.3f}"
+            )
+            for name in sorted(self.tenants):
+                stats = self.tenants[name]
+                lines.append(
+                    f"  tenant {name}: arrived {int(stats['arrived'])}  "
+                    f"completed {int(stats['completed'])}  attainment "
+                    f"{100 * stats['attainment']:.1f}%  p99 "
+                    f"{stats['latency_p99_us']:.0f} us"
+                )
         for event in self.health_events:
             lines.append(f"  health: {event}")
         return "\n".join(lines)

@@ -61,6 +61,7 @@ class Query:
     id: int
     arrival: float
     kind: str
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,14 @@ class TrafficModel:
         Flash-crowd episodes multiplying the instantaneous rate.
     mix:
         Query-kind weights (normalized internally).
+    tenants:
+        Optional tenant → weight mapping.  When non-empty, every query
+        is additionally tagged with a tenant drawn from these weights
+        (normalized internally), so the serving scenario can account
+        attainment and fairness per tenant.  The tenant draws happen
+        *after* the kind draws on the same generator, so an empty
+        mapping (the default) leaves the arrival stream byte-identical
+        to pre-tenant versions.
     """
 
     seed: int = 0
@@ -92,6 +101,7 @@ class TrafficModel:
     day_length: float = 4.0
     bursts: tuple[BurstEpisode, ...] = ()
     mix: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    tenants: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -108,6 +118,14 @@ class TrafficModel:
             raise ConfigError("query mix must not be empty")
         if any(w < 0 for w in self.mix.values()) or sum(self.mix.values()) <= 0:
             raise ConfigError("query mix weights must be >= 0 and sum > 0")
+        if self.tenants:
+            if any(not name for name in self.tenants):
+                raise ConfigError("tenant names must be non-empty")
+            if (
+                any(w < 0 for w in self.tenants.values())
+                or sum(self.tenants.values()) <= 0
+            ):
+                raise ConfigError("tenant weights must be >= 0 and sum > 0")
 
     # -- rate model ----------------------------------------------------------
 
@@ -161,7 +179,22 @@ class TrafficModel:
         weights = np.array([self.mix[k] for k in kinds], dtype=np.float64)
         weights /= weights.sum()
         choices = rng.choice(len(kinds), size=len(times), p=weights)
+        if self.tenants:
+            # Tenant draws come after the kind draws so that the default
+            # (no tenants) consumes exactly the pre-tenant RNG stream.
+            names = sorted(self.tenants)
+            tw = np.array([self.tenants[n] for n in names], dtype=np.float64)
+            tw /= tw.sum()
+            tenant_choices = rng.choice(len(names), size=len(times), p=tw)
+            tenants = [names[int(c)] for c in tenant_choices]
+        else:
+            tenants = ["default"] * len(times)
         return [
-            Query(id=i, arrival=times[i], kind=kinds[int(choices[i])])
+            Query(
+                id=i,
+                arrival=times[i],
+                kind=kinds[int(choices[i])],
+                tenant=tenants[i],
+            )
             for i in range(len(times))
         ]

@@ -77,12 +77,19 @@ def plan_query(
     slo_runtime_s: float | None = None,
     link: str | None = None,
     top: int | None = 10,
+    workload: str | None = None,
 ) -> list[dict[str, Any]]:
     """Configs meeting capacity + SLO for a graph of ``edge_bytes``.
 
     Returns Pareto-ranked rows (best first); ``top`` caps the list
     (``None`` returns all survivors).  ``link`` restricts to one PCIe
     generation; the SLO is an absolute runtime bound in seconds.
+
+    ``workload`` optionally names a :mod:`repro.workloads` registry
+    entry: the stored reference runtimes (a BFS-shaped workload) are
+    additionally scaled by the named workload's access-signature
+    traffic multiplier.  ``None`` (the default) keeps the reference
+    scaling exactly, byte-for-byte.
     """
     surface = validate_surface(surface)
     edge_bytes = _positive_finite(edge_bytes, "edge_bytes")
@@ -92,6 +99,11 @@ def plan_query(
         raise PlannerError(f"top must be >= 1, got {top}")
     ref_bytes = float(surface["workload"]["edge_list_bytes"])
     scale = edge_bytes / ref_bytes
+    if workload is not None:
+        from .. import workloads as workloads_registry
+
+        signature = workloads_registry.get(workload).signature
+        scale *= signature.traffic_multiplier
     from ..core.cost import MEDIA_COSTS
 
     rows: list[dict[str, Any]] = []

@@ -21,6 +21,15 @@ from .kcore import KCoreResult, kcore, core_numbers
 from .sssp import SSSPResult, sssp_bellman_ford, sssp_delta_stepping, sssp_reference
 from .cc import CCResult, connected_components, cc_reference
 from .pagerank import PageRankResult, pagerank, pagerank_reference
+from .triangles import TriangleCountResult, triangle_count, triangle_count_reference
+from .labelprop import (
+    LabelPropagationResult,
+    label_propagation,
+    label_propagation_reference,
+    mode_label_update,
+    propagate_labels_once,
+)
+from .walks import RandomWalkResult, random_walks, walk_step_choices
 
 __all__ = [
     "AccessTrace",
@@ -48,4 +57,15 @@ __all__ = [
     "PageRankResult",
     "pagerank",
     "pagerank_reference",
+    "TriangleCountResult",
+    "triangle_count",
+    "triangle_count_reference",
+    "LabelPropagationResult",
+    "label_propagation",
+    "label_propagation_reference",
+    "mode_label_update",
+    "propagate_labels_once",
+    "RandomWalkResult",
+    "random_walks",
+    "walk_step_choices",
 ]

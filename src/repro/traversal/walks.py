@@ -1,0 +1,99 @@
+"""Seeded random walks: the *tiny-frontier pointer-chase* workload.
+
+A fixed population of walkers starts at one source and takes uniform
+random steps for a fixed number of hops.  Each hop reads only the
+sublists of the vertices currently occupied — frontiers of at most
+``num_walkers`` distinct vertices, typically far fewer — so the access
+pattern is the pure fine-grained pointer chase of Appendix B: very small
+random reads, no spatial locality, latency-bound rather than
+bandwidth-bound.  All randomness comes from one seeded generator, so a
+run is exactly reproducible (and the external-memory engine kernel
+replays the identical hop sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TraceError
+from ..graph.csr import CSRGraph
+from .trace import AccessTrace, trace_from_frontiers
+
+__all__ = ["RandomWalkResult", "random_walks", "walk_step_choices"]
+
+
+@dataclass(frozen=True)
+class RandomWalkResult:
+    """Output of a random-walk run: per-vertex visit counts + trace."""
+
+    source: int
+    visits: np.ndarray
+    hops: int
+    trace: AccessTrace
+
+    @property
+    def total_visits(self) -> int:
+        """Total walker-hops recorded (including the starting positions)."""
+        return int(self.visits.sum())
+
+
+def walk_step_choices(
+    graph: CSRGraph, positions: np.ndarray, draws: np.ndarray
+) -> np.ndarray:
+    """Next position of each active walker given uniform draws in [0, 1).
+
+    ``positions`` must all have non-zero out-degree; walker *i* moves to
+    the ``floor(draws[i] * degree)``-th out-neighbor of ``positions[i]``.
+    Shared by the in-memory and external-memory implementations so both
+    consume the RNG stream identically.
+    """
+    degrees = graph.degrees[positions]
+    offsets = (draws * degrees).astype(np.int64)
+    # Guard the draws == 1.0-epsilon edge: offset must stay < degree.
+    offsets = np.minimum(offsets, degrees - 1)
+    return graph.indices[graph.indptr[positions] + offsets]
+
+
+def random_walks(
+    graph: CSRGraph,
+    source: int = 0,
+    *,
+    num_walkers: int = 64,
+    walk_length: int = 8,
+    seed: int = 0,
+) -> RandomWalkResult:
+    """Run ``num_walkers`` seeded uniform random walks from ``source``.
+
+    Walkers that reach a sink (zero out-degree) stop there; each hop's
+    trace step reads the sublists of the distinct occupied non-sink
+    vertices.  Visit counts include the starting positions.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise TraceError(f"source {source} out of range [0, {n})")
+    if num_walkers < 1 or walk_length < 1:
+        raise TraceError("num_walkers and walk_length must be >= 1")
+    rng = np.random.default_rng(seed)
+    positions = np.full(num_walkers, source, dtype=np.int64)
+    visits = np.zeros(n, dtype=np.int64)
+    visits[source] = num_walkers
+    frontiers: list[np.ndarray] = []
+    hops = 0
+    for _ in range(walk_length):
+        active = graph.degrees[positions] > 0
+        if not active.any():
+            break
+        frontier = np.unique(positions[active])
+        frontiers.append(frontier)
+        draws = rng.random(int(active.sum()))
+        positions = positions.copy()
+        positions[active] = walk_step_choices(graph, positions[active], draws)
+        np.add.at(visits, positions[active], 1)
+        hops += 1
+    if not frontiers:
+        # Source is a sink: record one empty step so the trace is non-empty.
+        frontiers.append(np.empty(0, dtype=np.int64))
+    trace = trace_from_frontiers(graph, frontiers, algorithm="random_walk")
+    return RandomWalkResult(source=source, visits=visits, hops=hops, trace=trace)

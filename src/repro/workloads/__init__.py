@@ -1,0 +1,253 @@
+"""Named registry of graph workloads (the analogue of ``repro.systems``).
+
+A *workload* bundles three things under one name: an external-memory
+kernel (:mod:`repro.workloads.kernels`), an in-memory trace function
+(:mod:`repro.traversal`), and an :class:`AccessSignature` describing how
+the algorithm touches memory — sequential/random read ratio, write
+fraction, frontier-density profile.  ``repro run/profile/serve/sweep/
+bench`` all resolve workload names here, so adding an algorithm means
+one :func:`register` call and an unknown name fails identically
+everywhere, with the valid choices spelled out.
+
+Eight workloads ship built in: the original five traversals (``bfs``,
+``sssp``, ``cc``, ``pagerank``, ``kcore``) plus three new signature
+classes — ``triangle_count`` (two-phase neighborhood join),
+``label_propagation`` (dense synchronous sweeps), and ``random_walk``
+(tiny-frontier pointer chase).
+
+The subpackage also hosts the scenario machinery the registry feeds:
+:mod:`~repro.workloads.streaming` (seeded edge-insertion streams with
+incremental BFS/CC maintenance and write-traffic pricing) and
+:mod:`~repro.workloads.tenancy` (multi-tenant co-runs on one shared
+DES pool with fairness metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..engine.engine import (
+    FULLY_EXTERNAL,
+    MEMORY_MODES,
+    SEMI_EXTERNAL,
+    ExternalGraphEngine,
+)
+from ..graph.csr import CSRGraph
+from ..traversal.bfs import bfs as _bfs
+from ..traversal.cc import connected_components as _connected_components
+from ..traversal.kcore import kcore as _kcore
+from ..traversal.labelprop import label_propagation as _label_propagation
+from ..traversal.pagerank import pagerank as _pagerank
+from ..traversal.sssp import sssp_bellman_ford as _sssp_bellman_ford
+from ..traversal.trace import AccessTrace
+from ..traversal.triangles import triangle_count as _triangle_count
+from ..traversal.walks import random_walks as _random_walks
+from .kernels import (
+    bfs_kernel,
+    cc_kernel,
+    kcore_kernel,
+    label_propagation_kernel,
+    pagerank_kernel,
+    random_walk_kernel,
+    sssp_kernel,
+    triangle_count_kernel,
+)
+from .registry import Workload, available, describe, get, register
+from .signature import FRONTIER_PROFILES, REUSE_CLASSES, AccessSignature
+from .streaming import (
+    EdgeBatch,
+    StreamingContention,
+    StreamingRun,
+    default_pool_config,
+    edge_stream,
+    streaming_bfs,
+    streaming_cc,
+    streaming_contention,
+    streaming_write_traffic,
+)
+from .tenancy import (
+    MultiTenantReport,
+    TenantReport,
+    TenantSpec,
+    jain_fairness,
+    run_multi_tenant,
+)
+
+__all__ = [
+    "AccessSignature",
+    "FRONTIER_PROFILES",
+    "REUSE_CLASSES",
+    "Workload",
+    "register",
+    "get",
+    "available",
+    "describe",
+    "build_engine",
+    "EdgeBatch",
+    "StreamingRun",
+    "StreamingContention",
+    "edge_stream",
+    "streaming_bfs",
+    "streaming_cc",
+    "streaming_contention",
+    "streaming_write_traffic",
+    "default_pool_config",
+    "TenantSpec",
+    "TenantReport",
+    "MultiTenantReport",
+    "jain_fairness",
+    "run_multi_tenant",
+]
+
+
+def build_engine(
+    graph: CSRGraph,
+    system: Any,
+    *,
+    memory_mode: str = SEMI_EXTERNAL,
+    workload: Optional[Workload] = None,
+) -> ExternalGraphEngine:
+    """Build an engine for ``graph`` on ``system`` in ``memory_mode``.
+
+    Picks the backend flavour matching the system's access method (the
+    same dispatch the fault harness uses) and, when ``workload`` is
+    given, prepares the graph first (e.g. attaches SSSP weights).
+    """
+    from ..faults.experiment import backend_factory_for
+
+    if workload is not None:
+        graph = workload.prepare(graph)
+    return ExternalGraphEngine(
+        graph, backend_factory_for(system), memory_mode=memory_mode
+    )
+
+
+# -- trace adapters (uniform ``(graph, source, **options)`` shape) -----------
+
+
+def _bfs_trace(graph: CSRGraph, source: int) -> AccessTrace:
+    return _bfs(graph, source).trace
+
+
+def _sssp_trace(graph: CSRGraph, source: int) -> AccessTrace:
+    return _sssp_bellman_ford(graph, source).trace
+
+
+def _cc_trace(graph: CSRGraph, source: int) -> AccessTrace:
+    return _connected_components(graph).trace
+
+
+def _pagerank_trace(graph: CSRGraph, source: int) -> AccessTrace:
+    return _pagerank(graph).trace
+
+
+def _kcore_trace(graph: CSRGraph, source: int, *, k: int = 2) -> AccessTrace:
+    return _kcore(graph, k).trace
+
+
+def _triangle_trace(graph: CSRGraph, source: int) -> AccessTrace:
+    return _triangle_count(graph).trace
+
+
+def _labelprop_trace(
+    graph: CSRGraph, source: int, *, max_iterations: int = 20
+) -> AccessTrace:
+    return _label_propagation(graph, max_iterations=max_iterations).trace
+
+
+def _walk_trace(
+    graph: CSRGraph,
+    source: int,
+    *,
+    num_walkers: int = 64,
+    walk_length: int = 8,
+    seed: int = 0,
+) -> AccessTrace:
+    return _random_walks(
+        graph,
+        source,
+        num_walkers=num_walkers,
+        walk_length=walk_length,
+        seed=seed,
+    ).trace
+
+
+register(
+    Workload(
+        name="bfs",
+        description="Level-synchronous BFS (the paper's primary workload).",
+        signature=AccessSignature(0.05, 0.06, "wavefront", reuse="low"),
+        kernel=bfs_kernel,
+        trace_fn=_bfs_trace,
+    )
+)
+register(
+    Workload(
+        name="sssp",
+        description="Frontier Bellman-Ford on uniform random weights.",
+        signature=AccessSignature(0.05, 0.10, "wavefront", reuse="medium"),
+        kernel=sssp_kernel,
+        trace_fn=_sssp_trace,
+        requires_weights=True,
+    )
+)
+register(
+    Workload(
+        name="cc",
+        description="Connected components by min-label propagation.",
+        signature=AccessSignature(0.10, 0.10, "shrinking", reuse="medium"),
+        kernel=cc_kernel,
+        trace_fn=_cc_trace,
+        needs_source=False,
+    )
+)
+register(
+    Workload(
+        name="pagerank",
+        description="Push-style PageRank (dense sequential sweeps).",
+        signature=AccessSignature(0.90, 0.06, "dense", reuse="high"),
+        kernel=pagerank_kernel,
+        trace_fn=_pagerank_trace,
+        needs_source=False,
+    )
+)
+register(
+    Workload(
+        name="kcore",
+        description="k-core peeling (shrinking residual-degree rounds).",
+        signature=AccessSignature(0.10, 0.05, "shrinking", reuse="medium"),
+        kernel=kcore_kernel,
+        trace_fn=_kcore_trace,
+        needs_source=False,
+        options={"k": 2},
+    )
+)
+register(
+    Workload(
+        name="triangle_count",
+        description="Forward triangle counting (two-phase neighborhood join).",
+        signature=AccessSignature(0.50, 0.0, "dense", reuse="medium"),
+        kernel=triangle_count_kernel,
+        trace_fn=_triangle_trace,
+        needs_source=False,
+    )
+)
+register(
+    Workload(
+        name="label_propagation",
+        description="Synchronous mode-label community detection.",
+        signature=AccessSignature(0.90, 0.06, "dense", reuse="high"),
+        kernel=label_propagation_kernel,
+        trace_fn=_labelprop_trace,
+        needs_source=False,
+    )
+)
+register(
+    Workload(
+        name="random_walk",
+        description="Seeded uniform random walks (tiny-frontier pointer chase).",
+        signature=AccessSignature(0.0, 0.02, "sparse", reuse="low"),
+        kernel=random_walk_kernel,
+        trace_fn=_walk_trace,
+    )
+)

@@ -1,0 +1,176 @@
+"""The name → :class:`Workload` registry.
+
+Mirrors :mod:`repro.systems`: one place maps the short names users type
+(``"bfs"``, ``"triangle_count"``, ``"label_propagation"``, ...) to a
+bundle of (external-memory kernel, in-memory trace function, access
+signature).  The CLI, the experiment runner, the fault harness, the
+sweeps, and the bench scenarios all resolve workload names here, so an
+unknown name fails the same way everywhere — with the valid choices
+spelled out in a typed :class:`~repro.errors.WorkloadError`.
+
+Usage::
+
+    from repro import workloads
+
+    wl = workloads.get("label_propagation")
+    run = wl.run(engine)                  # external-memory kernel
+    trace = wl.trace(graph)               # in-memory run -> AccessTrace
+    print(workloads.available())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..engine.engine import EngineRun, ExternalGraphEngine
+from ..errors import WorkloadError
+from ..graph.csr import CSRGraph
+from ..traversal.trace import AccessTrace
+from .signature import AccessSignature
+
+__all__ = [
+    "Workload",
+    "register",
+    "get",
+    "available",
+    "describe",
+]
+
+#: Kernel signature: ``kernel(engine, source, **options) -> EngineRun``.
+KernelFn = Callable[..., EngineRun]
+#: Trace signature: ``trace_fn(graph, source, **options) -> AccessTrace``.
+TraceFn = Callable[..., AccessTrace]
+
+
+def _default_source(graph: CSRGraph) -> int:
+    """Highest-degree vertex (same policy as ``core.experiment``)."""
+    if graph.num_vertices == 0:
+        raise WorkloadError("graph has no vertices")
+    return int(np.argmax(graph.degrees))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered workload: kernel + trace function + signature.
+
+    Attributes
+    ----------
+    name / description:
+        Registry key and the one-liner :func:`describe` prints.
+    signature:
+        The workload's :class:`~repro.workloads.AccessSignature`.
+    kernel:
+        External-memory kernel ``(engine, source, **options)``.
+    trace_fn:
+        In-memory runner returning an
+        :class:`~repro.traversal.AccessTrace` for the model stack.
+    requires_weights:
+        Whether the graph needs edge weights (:meth:`prepare` attaches
+        uniform random ones, the standard benchmark setup).
+    needs_source:
+        Whether the algorithm consumes a source vertex at all (BFS does,
+        CC does not); purely informational for docs and CLIs.
+    options:
+        Default keyword options forwarded to both callables (e.g. the
+        ``k`` of k-core); call-site options override them.
+    """
+
+    name: str
+    description: str
+    signature: AccessSignature
+    kernel: KernelFn
+    trace_fn: TraceFn
+    requires_weights: bool = False
+    needs_source: bool = True
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def prepare(self, graph: CSRGraph) -> CSRGraph:
+        """Attach uniform random weights when the workload needs them."""
+        if self.requires_weights and not graph.is_weighted:
+            return graph.with_uniform_random_weights(seed=0)
+        return graph
+
+    def _merged(self, options: dict[str, Any]) -> dict[str, Any]:
+        merged = dict(self.options)
+        merged.update(options)
+        return merged
+
+    def run(
+        self,
+        engine: ExternalGraphEngine,
+        source: Optional[int] = None,
+        **options: Any,
+    ) -> EngineRun:
+        """Run the external-memory kernel on an existing engine."""
+        if source is None:
+            source = _default_source(engine.graph)
+        return self.kernel(engine, source, **self._merged(options))
+
+    def trace(
+        self,
+        graph: CSRGraph,
+        source: Optional[int] = None,
+        **options: Any,
+    ) -> AccessTrace:
+        """Run the in-memory algorithm and return its access trace."""
+        graph = self.prepare(graph)
+        if source is None:
+            source = _default_source(graph)
+        return self.trace_fn(graph, source, **self._merged(options))
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload, *, replace: bool = False) -> None:
+    """Add ``workload`` to the registry under its (lowercased) name.
+
+    Re-registering an existing name raises unless ``replace=True`` — a
+    silent override would make :func:`get` depend on import order.
+    """
+    key = workload.name.lower()
+    if not key:
+        raise WorkloadError("workload name must be non-empty")
+    if key in _REGISTRY and not replace:
+        raise WorkloadError(
+            f"workload {key!r} is already registered; pass replace=True "
+            "to override"
+        )
+    _REGISTRY[key] = workload
+
+
+def available() -> list[str]:
+    """All registered workload names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Workload:
+    """Look up the workload registered under ``name``.
+
+    Unknown names raise :class:`~repro.errors.WorkloadError` (a
+    :class:`~repro.errors.ModelError`) listing the valid choices.
+    """
+    key = name.lower()
+    workload = _REGISTRY.get(key)
+    if workload is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(available())}"
+        )
+    return workload
+
+
+def describe() -> str:
+    """One line per registered workload: name, signature, description."""
+    lines = []
+    for key in available():
+        wl = _REGISTRY[key]
+        sig = wl.signature
+        tags = (
+            f"seq={sig.sequential_read_fraction:.2f} "
+            f"write={sig.write_fraction:.2f} {sig.frontier_profile}"
+        )
+        lines.append(f"{key:<18} [{tags:<32}] {wl.description}")
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Multi-tenant concurrent traversals over one shared device pool.
+
+The paper evaluates one query at a time; a serving deployment runs many.
+:func:`run_multi_tenant` co-schedules the access traces of several
+tenants' workloads on a single DES device pool: aligned step by aligned
+step, every tenant's outstanding requests share the same link tags and
+device queues, and the step ends when the *last* tenant's requests
+drain (a global barrier, the same execution model as the single-tenant
+DES).  Comparing each tenant's shared completion time against its solo
+run on the same pool yields interference slowdowns and a Jain fairness
+index — the metrics :mod:`repro.ops` reports per tenant when a
+:class:`~repro.ops.TrafficModel` mixes tenant streams.
+
+Everything is deterministic: traces are deterministic, the DES is
+seedless, and tenants are processed in name order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..graph.csr import CSRGraph
+from ..sim.des import DESConfig, simulate_step
+from .registry import get as get_workload
+from .streaming import default_pool_config
+
+__all__ = [
+    "TenantSpec",
+    "TenantReport",
+    "MultiTenantReport",
+    "jain_fairness",
+    "run_multi_tenant",
+]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a name, the workload it runs, and its traffic weight."""
+
+    name: str
+    workload: str = "bfs"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("tenant name must be non-empty")
+        if not self.weight > 0:
+            raise WorkloadError(
+                f"tenant {self.name!r} weight must be positive, got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant outcome of a shared run."""
+
+    name: str
+    workload: str
+    steps: int
+    requests: int
+    read_bytes: int
+    solo_time: float
+    shared_time: float
+
+    @property
+    def slowdown(self) -> float:
+        """Interference: shared completion time over solo time."""
+        return self.shared_time / self.solo_time if self.solo_time > 0 else 1.0
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's index over per-tenant progress rates: 1.0 is perfectly fair."""
+    if not values:
+        return 1.0
+    arr = np.asarray(values, dtype=np.float64)
+    denom = float(arr.size * (arr**2).sum())
+    if denom == 0.0:  # simlint: disable=FLOAT001
+        return 1.0
+    return float(arr.sum() ** 2 / denom)
+
+
+@dataclass(frozen=True)
+class MultiTenantReport:
+    """Outcome of one multi-tenant co-run on a shared pool."""
+
+    tenants: tuple[TenantReport, ...]
+    total_time: float
+    fairness: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data view for canonical-JSON reports."""
+        return {
+            "total_time_s": self.total_time,
+            "fairness": self.fairness,
+            "tenants": [
+                {
+                    "name": t.name,
+                    "workload": t.workload,
+                    "steps": t.steps,
+                    "requests": t.requests,
+                    "read_bytes": t.read_bytes,
+                    "solo_time_s": t.solo_time,
+                    "shared_time_s": t.shared_time,
+                    "slowdown": t.slowdown,
+                }
+                for t in self.tenants
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys), byte-identical across runs."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def run_multi_tenant(
+    graph: CSRGraph,
+    tenants: list[TenantSpec],
+    *,
+    source: Optional[int] = None,
+    config: Optional[DESConfig] = None,
+) -> MultiTenantReport:
+    """Co-run every tenant's workload trace on one shared device pool.
+
+    Tenant *weight* scales how many copies of its per-step requests the
+    tenant keeps in flight (a weight of 2.0 doubles its request stream,
+    rounded to at least one copy).  Tenants shorter than the longest
+    trace simply stop participating in later steps.
+    """
+    if not tenants:
+        raise WorkloadError("run_multi_tenant needs at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise WorkloadError(f"tenant names must be unique, got {sorted(names)}")
+    config = config or default_pool_config()
+    ordered = sorted(tenants, key=lambda t: t.name)
+    per_tenant_steps: list[list[np.ndarray]] = []
+    for spec in ordered:
+        workload = get_workload(spec.workload)
+        trace = workload.trace(graph, source)
+        copies = max(1, int(round(spec.weight)))
+        steps = []
+        for step in trace.steps:
+            sizes = step.lengths[step.lengths > 0]
+            steps.append(np.tile(sizes, copies) if copies > 1 else sizes)
+        per_tenant_steps.append(steps)
+
+    # Solo baselines: each tenant alone on the same pool.
+    solo_times = []
+    for steps in per_tenant_steps:
+        solo = 0.0
+        for sizes in steps:
+            if sizes.size:
+                solo += simulate_step(sizes, config).time
+        solo_times.append(solo)
+
+    # Shared run: per aligned step, all active tenants' requests share
+    # the pool; the barrier closes on the last completion.  Each active
+    # tenant experiences the full combined step time.
+    num_steps = max(len(s) for s in per_tenant_steps)
+    shared_times = [0.0 for _ in ordered]
+    total_time = 0.0
+    for step_idx in range(num_steps):
+        combined = [
+            steps[step_idx]
+            for steps in per_tenant_steps
+            if step_idx < len(steps) and steps[step_idx].size
+        ]
+        if not combined:
+            continue
+        step_time = simulate_step(np.concatenate(combined), config).time
+        total_time += step_time
+        for i, steps in enumerate(per_tenant_steps):
+            if step_idx < len(steps) and steps[step_idx].size:
+                shared_times[i] += step_time
+
+    reports = []
+    rates = []
+    for i, spec in enumerate(ordered):
+        steps = per_tenant_steps[i]
+        requests = int(sum(s.size for s in steps))
+        read_bytes = int(sum(int(s.sum()) for s in steps))
+        report = TenantReport(
+            name=spec.name,
+            workload=spec.workload.lower(),
+            steps=len(steps),
+            requests=requests,
+            read_bytes=read_bytes,
+            solo_time=solo_times[i],
+            shared_time=shared_times[i],
+        )
+        reports.append(report)
+        rates.append(1.0 / report.slowdown if report.slowdown > 0 else 1.0)
+    return MultiTenantReport(
+        tenants=tuple(reports),
+        total_time=total_time,
+        fairness=jain_fairness(rates),
+    )
